@@ -1,0 +1,228 @@
+"""Ablations: the individual/combined effects of the paper's title.
+
+The paper's question is precisely how speculative and guarded execution
+behave *individually* and *combined*.  This harness regenerates that
+analysis on our suite:
+
+* feature ablation — branch-likely only, guarding only, splitting only,
+  speculation only, and the full combination, per benchmark;
+* BHT size sweep — the aliasing relief that branch-likelies provide only
+  materializes when history entries are contended;
+* split-style comparison — the Figure 5 sectioned form vs the literal
+  Figure 7(b) inline form on a phased loop.
+
+Run:  pytest benchmarks/bench_ablations.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import compile_baseline, compile_variant, r10k_config, simulate
+from repro.cfg import LoopForest, build_cfg
+from repro.profilefb import Segment
+from repro.transform import split_branch
+from repro.workloads import benchmark_programs, phased_loop_program
+
+SCALE = 0.3
+
+VARIANTS = {
+    "baseline": dict(likely=False, split=False, ifconvert=False,
+                     speculation=False),
+    "likely-only": dict(likely=True, split=False, ifconvert=False,
+                        speculation=False),
+    "guard-only": dict(likely=False, split=False, ifconvert=True,
+                       speculation=False),
+    "split-only": dict(likely=False, split=True, ifconvert=False,
+                       speculation=False),
+    "spec-only": dict(likely=False, split=False, ifconvert=False,
+                      speculation=True),
+    "combined": dict(likely=True, split=True, ifconvert=True,
+                     speculation=True),
+}
+
+
+def test_individual_vs_combined(benchmark):
+    """The title experiment: each technique alone, then together."""
+    programs = benchmark_programs(scale=SCALE)
+
+    def measure():
+        out = {}
+        for name, prog in programs.items():
+            from repro.profilefb import ProfileDB
+
+            profile = ProfileDB.from_run(prog)  # shared across variants
+            row = {}
+            for vname, toggles in VARIANTS.items():
+                cr = compile_variant(prog, profile=profile, **toggles)
+                st = simulate(cr.program, r10k_config("twobit"))
+                row[vname] = st.ipc
+            out[name] = row
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    header = f"{'benchmark':<10}" + "".join(f"{v:>13}" for v in VARIANTS)
+    print("\nIPC by technique (2-bit hardware prediction underneath):")
+    print(header)
+    for name, row in results.items():
+        print(f"{name:<10}" + "".join(f"{row[v]:>13.3f}" for v in VARIANTS))
+
+    for name, row in results.items():
+        # No single technique may regress the baseline by more than 5 %
+        # (every transform is profit-gated) ...
+        for vname in VARIANTS:
+            assert row[vname] >= row["baseline"] * 0.95, (name, vname)
+        # ... and the combination must not lose to the best individual
+        # technique by more than noise (the paper's combined claim).
+        best_individual = max(row[v] for v in VARIANTS if v != "combined")
+        assert row["combined"] >= best_individual * 0.97, name
+
+
+def test_bht_size_sweep(benchmark):
+    """Prediction-table contention: with few BHT entries, benchmark
+    branches alias and the baseline degrades; branch-likely-converted code
+    holds no entries and is insulated."""
+    prog = benchmark_programs(scale=SCALE)["compress"]
+    base = compile_baseline(prog).program
+    prop = compile_variant(prog, likely=True, split=False, ifconvert=False,
+                           speculation=False).program
+
+    def sweep():
+        out = {}
+        for entries in (2, 8, 64, 512):
+            cfg_b = r10k_config("twobit", bht_entries=entries)
+            out[entries] = (simulate(base, cfg_b).ipc,
+                            simulate(prop, cfg_b).ipc)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nBHT size sweep (compress): entries -> (baseline, likely) IPC")
+    for entries, (b, p) in results.items():
+        print(f"  {entries:>4}: {b:.3f}  {p:.3f}  (+{100 * (p / b - 1):.1f}%)")
+    # Baseline IPC must be monotonically non-decreasing with table size.
+    ipcs = [results[e][0] for e in (2, 8, 64, 512)]
+    assert all(a <= b + 1e-9 for a, b in zip(ipcs, ipcs[1:]))
+    # The likely variant's advantage is largest at the smallest table.
+    adv = {e: results[e][1] / results[e][0] for e in results}
+    assert adv[2] >= adv[512] - 0.02
+
+
+def test_hardware_vs_software(benchmark):
+    """The paper's future-work question, quantified: how much of the
+    proposed software scheme's benefit would stronger hardware (a
+    two-level local-history predictor) capture on its own — and do they
+    compose?"""
+    programs = benchmark_programs(scale=SCALE)
+
+    def measure():
+        out = {}
+        for name, prog in programs.items():
+            base = compile_baseline(prog).program
+            prop = compile_variant(prog).program  # everything on
+            out[name] = {
+                "2bit": simulate(base, r10k_config("twobit")).ipc,
+                "2bit+sw": simulate(prop, r10k_config("twobit")).ipc,
+                "2level": simulate(base, r10k_config("twolevel")).ipc,
+                "2level+sw": simulate(prop, r10k_config("twolevel")).ipc,
+            }
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    cols = ("2bit", "2bit+sw", "2level", "2level+sw")
+    print("\nhardware vs software (IPC):")
+    print(f"{'benchmark':<10}" + "".join(f"{c:>11}" for c in cols))
+    for name, row in results.items():
+        print(f"{name:<10}" + "".join(f"{row[c]:>11.3f}" for c in cols))
+    for name, row in results.items():
+        # "Better" hardware is NOT uniformly better: on xlisp the 4-bit
+        # local history cannot represent the interpreter's period-12
+        # opcode pattern and trains noisily, landing below the 2-bit
+        # counter.  Allow that, but bound the damage ...
+        assert row["2level"] >= row["2bit"] * 0.90, name
+        # ... and require the software scheme to remain additive (or
+        # neutral) on top of the stronger hardware.
+        assert row["2level+sw"] >= row["2level"] * 0.95, name
+        assert row["2level+sw"] >= row["2bit"] * 0.98, name
+
+
+def test_queue_size_sweep(benchmark):
+    """DESIGN.md ablation: how sensitive are the Table 3/4 shapes to the
+    16-entry reservation queues?"""
+    prog = benchmark_programs(scale=SCALE)["espresso"]
+    base = compile_baseline(prog).program
+
+    def sweep():
+        out = {}
+        for size in (2, 4, 16, 64):
+            cfg = r10k_config("perfect", int_queue_size=size,
+                              addr_queue_size=size, fp_queue_size=size)
+            st = simulate(base, cfg)
+            out[size] = (st.ipc, st.queue_full_pct("alu"))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nqueue size sweep (espresso, perfect BP): size -> IPC, ALU-queue-full%")
+    for size, (ipc, full) in results.items():
+        print(f"  {size:>3}: IPC={ipc:.3f}  full={full:5.1f}%")
+    ipcs = [results[s][0] for s in (2, 4, 16, 64)]
+    assert all(a <= b + 1e-9 for a, b in zip(ipcs, ipcs[1:]))
+    # Tiny queues must be visibly saturated.
+    assert results[2][1] >= results[64][1]
+
+
+SEGS = (Segment(0, 40, "taken", 1.0),
+        Segment(40, 60, "mixed", 0.5),
+        Segment(60, 100, "nottaken", 0.0))
+
+
+@pytest.mark.parametrize("style", ["sectioned", "inline"])
+def test_split_style(benchmark, style):
+    """Figure 5 sectioned codegen vs the literal Figure 7(b) inline form."""
+    def build_and_run():
+        prog = phased_loop_program([(40, "taken"), (20, "alternate"),
+                                    (40, "nottaken")], body_ops=2)
+        cfg = build_cfg(prog)
+        forest = LoopForest(cfg)
+        block = next(
+            bb.bid for bb in cfg.blocks
+            if bb.terminator is not None
+            and bb.terminator.target == "arm_taken")
+        split_branch(cfg, forest, block, SEGS, style=style)
+        split_prog = cfg.to_program()
+        st0 = simulate(prog, r10k_config("twobit"))
+        st1 = simulate(split_prog, r10k_config("twobit"))
+        return st0, st1
+
+    st0, st1 = benchmark(build_and_run)
+    print(f"\n[{style}] accuracy {st0.predictor.accuracy * 100:.1f}% -> "
+          f"{st1.predictor.accuracy * 100:.1f}%, "
+          f"cycles {st0.cycles} -> {st1.cycles}")
+    if style == "sectioned":
+        assert st1.predictor.accuracy >= st0.predictor.accuracy - 0.01
+
+
+def test_wrong_path_modeling(benchmark):
+    """Fidelity ablation: does modeling wrong-path fetch occupancy change
+    the Table 3/4 shapes?  (The paper's occupancy numbers suggest its
+    simulator drained the front end on mispredictions, which is this
+    repository's default; the optional mode quantifies the difference.)"""
+    from repro.sim import TimingSim
+
+    prog = compile_baseline(benchmark_programs(scale=SCALE)["espresso"]).program
+
+    def both():
+        out = {}
+        for wp in (False, True):
+            sim = TimingSim(r10k_config("twobit"), program=prog,
+                            model_wrong_path=wp)
+            st = sim.run_program(prog)
+            out[wp] = st
+        return out
+
+    results = benchmark.pedantic(both, rounds=1, iterations=1)
+    off, on = results[False], results[True]
+    print("\nwrong-path modeling (espresso, 2bitBP):")
+    print(f"  off: IPC={off.ipc:.3f}  BR-full={off.queue_full_pct('br'):5.1f}%  squashed={off.wrong_path_squashed}")
+    print(f"  on : IPC={on.ipc:.3f}  BR-full={on.queue_full_pct('br'):5.1f}%  squashed={on.wrong_path_squashed}")
+    assert off.committed == on.committed
+    assert on.wrong_path_squashed > 0
+    assert on.cycles >= off.cycles

@@ -1,0 +1,32 @@
+"""Figure 2 reproduction: the worked cost-model example.
+
+Regenerates the paper's exact arithmetic for the diamond with schedule
+lengths 10/13/5/12, 50/50 arm probabilities, 4 vacant slots and 100 loop
+iterations:
+
+* acyclic baseline schedule ........ 3100 cycles  (Figure 2(b))
+* balanced speculation ............. 2900 cycles  (Figure 2(c))
+* guarded execution ................ 3600 cycles  (Figure 2(d), worse!)
+
+Run:  pytest benchmarks/bench_fig2_cost_model.py --benchmark-only -s
+"""
+
+from repro.core.cost_model import PAPER_FIG2
+
+
+def _fig2_all():
+    return (PAPER_FIG2.baseline_cost(),
+            PAPER_FIG2.speculate_balanced(2),
+            PAPER_FIG2.guarded_cost())
+
+
+def test_fig2_cost_model(benchmark):
+    baseline, speculated, guarded = benchmark(_fig2_all)
+    print("\nFigure 2 worked example (paper values in parentheses):")
+    print(f"  baseline     {baseline:6.0f}  (3100)")
+    print(f"  speculation  {speculated:6.0f}  (2900)")
+    print(f"  guarded      {guarded:6.0f}  (3600)")
+    assert baseline == 3100.0
+    assert speculated == 2900.0
+    assert guarded == 3600.0
+    assert guarded > baseline > speculated

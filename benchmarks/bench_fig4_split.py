@@ -1,0 +1,50 @@
+"""Figures 3/4 reproduction: the segment-split schedule.
+
+The paper splits the Figure 2 loop's iteration space 40 % / 20 % / 40 %
+(taken-biased / toggling / not-taken-biased), specializes each segment's
+schedule, and obtains 100 * (9.44 + 5.8 + 12.32) = 2756 cycles — beating
+the best one-time-metric schedule (2900).
+
+Run:  pytest benchmarks/bench_fig4_split.py --benchmark-only -s
+"""
+
+from repro.core.cost_model import (
+    PAPER_FIG2, PAPER_FIG4_PLAN, paper_fig4_cost, split_cost,
+)
+
+
+def test_fig4_split_cost(benchmark):
+    total = benchmark(paper_fig4_cost)
+    seg_costs = [
+        split_cost(PAPER_FIG2, (plan._replace(fraction=1.0),))
+        if hasattr(plan, "_replace") else None
+        for plan in PAPER_FIG4_PLAN
+    ]
+    print("\nFigure 4 segment-split schedule (paper values in parentheses):")
+    print(f"  total        {total:7.1f}  (2756)")
+    print(f"  one-time best {PAPER_FIG2.best_one_time_cost(2):6.1f}  (2900)")
+    assert abs(total - 2756.0) < 1e-9
+    assert total < PAPER_FIG2.best_one_time_cost(2)
+
+
+def test_fig4_per_segment_terms(benchmark):
+    """The three per-segment terms: 9.44, 5.8, 12.32 cycles/iteration."""
+    from dataclasses import replace
+
+    def terms():
+        out = []
+        for plan in PAPER_FIG4_PLAN:
+            region = replace(PAPER_FIG2, p_b2=plan.p_b2)
+            if plan.strategy == "balanced":
+                per = region.per_iter_balanced(plan.k)
+            elif plan.strategy == "favor_b2":
+                per = region.per_iter_biased(True, plan.k)
+            else:
+                per = region.per_iter_biased(False, plan.k)
+            out.append(plan.fraction * per)
+        return out
+
+    t = benchmark(terms)
+    print(f"\nper-segment weighted terms: {[f'{x:.2f}' for x in t]} "
+          f"(paper: 9.44, 5.80, 12.32)")
+    assert [round(x, 2) for x in t] == [9.44, 5.80, 12.32]

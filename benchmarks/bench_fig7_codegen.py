@@ -1,0 +1,63 @@
+"""Figures 5/7 reproduction: split-branch code generation.
+
+Applies both codegen styles to a loop shaped like Figure 7(a) — a forward
+branch with phased behavior inside a counted loop — and reports the
+instrumentation each one emits (counter, split predicates, branch-likelies)
+together with measured prediction behavior:
+
+* the sectioned (Figure 5) form, which the pipeline uses, improves or
+  preserves accuracy;
+* the literal inline (Figure 7(b)) form degrades it under always-taken
+  likely semantics — the reproduction finding documented in EXPERIMENTS.md.
+
+Run:  pytest benchmarks/bench_fig7_codegen.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import r10k_config
+from repro.cfg import LoopForest, build_cfg
+from repro.profilefb import Segment
+from repro.sim import TimingSim
+from repro.transform import split_branch
+from repro.workloads import phased_loop_program
+
+SEGS = (Segment(0, 40, "taken", 1.0),
+        Segment(40, 60, "mixed", 0.5),
+        Segment(60, 100, "nottaken", 0.0))
+
+
+def _split(style: str):
+    prog = phased_loop_program([(40, "taken"), (20, "alternate"),
+                                (40, "nottaken")], body_ops=2)
+    cfg = build_cfg(prog)
+    forest = LoopForest(cfg)
+    block = next(
+        bb.bid for bb in cfg.blocks
+        if bb.terminator is not None
+        and bb.terminator.target == "arm_taken")
+    report = split_branch(cfg, forest, block, SEGS, style=style)
+    return prog, cfg.to_program(), report
+
+
+@pytest.mark.parametrize("style", ["sectioned", "inline"])
+def test_fig7_codegen(benchmark, style):
+    orig, split_prog, report = benchmark(_split, style)
+    counters = [i for i in split_prog if i.ann.get("split_counter")]
+    likelies = [i for i in split_prog if i.is_likely]
+    st_orig = TimingSim(r10k_config("twobit")).run_program(orig)
+    st_split = TimingSim(r10k_config("twobit")).run_program(split_prog)
+    print(f"\n[{style}] boundaries={report.boundaries} "
+          f"counter={report.counter} cond_cc={report.cond_cc}")
+    print(f"  instrumentation ops: {len(counters)}  "
+          f"likely branches: {len(likelies)}  "
+          f"code size {len(orig)} -> {len(split_prog)}")
+    print(f"  accuracy {st_orig.predictor.accuracy * 100:.2f}% -> "
+          f"{st_split.predictor.accuracy * 100:.2f}%")
+    assert counters, "iteration counter must be inserted (Figure 7(b): i=0, i=i+1)"
+    assert likelies, "split must emit branch-likely instructions"
+    if style == "sectioned":
+        assert st_split.predictor.accuracy >= st_orig.predictor.accuracy - 0.01
+    else:
+        # The literal Figure 7(b) form is faithfully counterproductive.
+        assert st_split.predictor.accuracy <= st_orig.predictor.accuracy

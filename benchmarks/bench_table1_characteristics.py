@@ -1,0 +1,36 @@
+"""Table 1 reproduction: benchmark characteristics.
+
+Paper columns: dynamic instructions, % branch instructions in the dynamic
+stream, % correctly predicted branches (2-bit scheme).  Paper values for
+reference — our kernels are scaled-down algorithmic stand-ins, so dynamic
+counts differ by construction; branch density and predictability land in
+the paper's bands:
+
+    benchmark   dyn.instr(M)  branch%  predicted%
+    Compress        0.41       20.81     91.98
+    Espresso      786.58       19.26     94.57
+    Xlisp        5256.53       23.12     89.21
+    Grep            0.31       22.28     92.0
+
+Run:  pytest benchmarks/bench_table1_characteristics.py --benchmark-only -s
+"""
+
+from repro.eval import format_table1, table1
+from repro.sim import FunctionalSim
+from repro.workloads import benchmark_programs
+
+
+def test_table1(benchmark, suite_runs):
+    # Time one representative functional profiling run.
+    prog = benchmark_programs(scale=0.3)["compress"]
+    benchmark(lambda: FunctionalSim(prog).run())
+
+    print()
+    print(format_table1(suite_runs))
+    rows = {r["benchmark"]: r for r in table1(suite_runs)}
+    assert set(rows) == {"compress", "espresso", "xlisp", "grep"}
+    for name, row in rows.items():
+        # Branch density in a plausible band around the paper's ~20%.
+        assert 8.0 <= row["branch_pct"] <= 40.0, name
+        # Predictability in the paper's high-80s..mid-90s band.
+        assert 75.0 <= row["predicted_pct"] <= 99.0, name

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+The full three-scheme suite run is expensive, so it is executed once per
+session (at a reduced but representative scale) and shared by every
+table-printing benchmark.  The ``benchmark`` fixture then times a single
+representative unit of work, keeping pytest-benchmark's statistics
+meaningful without re-running the whole sweep per round.
+"""
+
+import pytest
+
+from repro.eval import run_suite
+
+#: Scale factor for benchmark-suite runs (1.0 = the default workload sizes
+#: used in EXPERIMENTS.md; reduced here to keep the harness quick).
+SUITE_SCALE = 0.3
+
+
+@pytest.fixture(scope="session")
+def suite_runs():
+    """The full Tables-3/4 sweep: 4 benchmarks x 3 schemes."""
+    return run_suite(scale=SUITE_SCALE)

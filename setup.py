@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that `pip install -e .` works in fully
+offline environments that lack the `wheel` package (pip falls back to the
+legacy `setup.py develop` editable path when no [build-system] table is
+present)."""
+
+from setuptools import setup
+
+setup()

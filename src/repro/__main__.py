@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``  — run the three-scheme suite and print Tables 1-4 plus the
+  headline improvement summary;
+* ``profile`` — functional-profile a benchmark (or .s file) and print its
+  per-branch feedback metrics;
+* ``compile`` — run the proposed pipeline and print the Figure 6 decision
+  trail plus the transformed assembly;
+* ``run``     — simulate a program under one prediction scheme and print
+  the timing counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import compile_baseline, compile_proposed
+from .eval import (
+    format_improvements, format_table1, format_table2, format_table3,
+    format_table4, run_suite,
+)
+from .isa import format_program, parse
+from .isa.program import Program
+from .profilefb import ProfileDB
+from .sim import FunctionalSim, TimingSim, r10k_config
+from .workloads import BENCHMARKS
+
+
+def _load_program(name: str, scale: float) -> Program:
+    if name in BENCHMARKS:
+        from .workloads import benchmark_programs
+
+        return benchmark_programs(scale)[name]
+    path = Path(name)
+    if path.exists():
+        return parse(path.read_text(), name=path.stem)
+    raise SystemExit(
+        f"unknown program {name!r}: not a benchmark "
+        f"({', '.join(sorted(BENCHMARKS))}) and not a file")
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    runs = run_suite(scale=args.scale,
+                     progress=lambda b: print(f"running {b} ...",
+                                              file=sys.stderr))
+    for text in (format_table1(runs), "", format_table2(), "",
+                 format_table3(runs), "", format_table4(runs), "",
+                 format_improvements(runs)):
+        print(text)
+    if args.report:
+        from .eval import write_report
+
+        path = write_report(runs, args.report,
+                            title=f"Suite results (scale {args.scale})")
+        print(f"markdown report written to {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    prog = _load_program(args.program, args.scale)
+    db = ProfileDB.from_run(prog)
+    print(db.summary())
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    prog = _load_program(args.program, args.scale)
+    result = compile_proposed(prog)
+    print(result.summary())
+    if args.emit:
+        print()
+        print(format_program(result.program))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    prog = _load_program(args.program, args.scale)
+    if args.proposed:
+        prog = compile_proposed(prog).program
+    elif not args.raw:
+        prog = compile_baseline(prog).program
+    fsim = FunctionalSim(prog, record_outcomes=False)
+    stats = TimingSim(r10k_config(args.predictor)).run(fsim.trace())
+    print(f"program    : {prog.name}")
+    print(f"predictor  : {args.predictor}")
+    print(stats.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Srinivas & Nicolau (IPPS 1998) reproduction toolkit")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate Tables 1-4")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale factor (default 1.0)")
+    p.add_argument("--report", metavar="FILE",
+                   help="also write a markdown report to FILE")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("profile", help="print a program's feedback metrics")
+    p.add_argument("program", help="benchmark name or .s file")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("compile", help="run the proposed pipeline")
+    p.add_argument("program", help="benchmark name or .s file")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--emit", action="store_true",
+                   help="also print the transformed assembly")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="simulate a program")
+    p.add_argument("program", help="benchmark name or .s file")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--predictor", default="twobit",
+                   choices=["twobit", "twolevel", "perfect", "static-taken"])
+    p.add_argument("--proposed", action="store_true",
+                   help="compile with the proposed pipeline first")
+    p.add_argument("--raw", action="store_true",
+                   help="skip baseline local scheduling")
+    p.set_defaults(func=cmd_run)
+
+    args = ap.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output truncated by a pipe reader (e.g. `| head`); not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

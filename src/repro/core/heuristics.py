@@ -1,0 +1,92 @@
+"""Feedback heuristics: the tunable knobs of the Figure 6 algorithm.
+
+The paper's thesis is that feedback metrics should be *designed*, not just
+consumed: a one-time average hides structure that per-segment metrics
+expose.  :class:`FeedbackHeuristics` bundles every threshold the decision
+procedure uses, so ablation benchmarks can sweep them
+(``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profilefb.bitvector import BranchHistory
+from ..profilefb.classify import ClassifyConfig
+
+
+@dataclass(frozen=True)
+class FeedbackHeuristics:
+    """All knobs of the proposed compilation scheme."""
+
+    classify: ClassifyConfig = field(default_factory=ClassifyConfig)
+
+    # Feature toggles (for the individual/combined ablations of the title).
+    enable_likely: bool = True
+    enable_ifconvert: bool = True
+    enable_split: bool = True
+    enable_speculation: bool = True
+
+    #: codegen style for branch splitting ("sectioned" per Figure 5, or the
+    #: literal "inline" Figure 7(b) form)
+    split_style: str = "sectioned"
+
+    #: cycles charged per misprediction when estimating split benefit
+    #: (resolution depth + recovery on the R10000-like pipeline)
+    mispredict_penalty: float = 4.0
+    #: cycles charged per *correctly predicted* execution when a branch is
+    #: if-converted: guarding turns the control dependence into a data
+    #: dependence on the predicate, so the guarded ops wait for the compare
+    #: where a predicted branch would have let them issue immediately
+    guard_dependence_penalty: float = 0.5
+    #: per-iteration instrumentation overhead of a split loop (counter
+    #: increment + predicate evaluation in the latch)
+    split_overhead_per_iter: float = 1.0
+    #: minimum dynamic executions before a branch is worth transforming
+    min_executions: int = 16
+    #: minimum estimated cycle gain before a transform is applied
+    min_gain: float = 0.0
+
+    # Region-scheduler knobs.
+    speculation_bias: float = 0.65
+    max_moves_per_block: int = 4
+
+
+DEFAULT_HEURISTICS = FeedbackHeuristics()
+
+
+def split_benefit_estimate(history: BranchHistory, segments,
+                           heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+                           ) -> float:
+    """Estimated cycles saved by splitting a branch with this history.
+
+    Savings: the 2-bit predictor's mispredictions on the whole history,
+    minus the mispredictions left after per-segment specialization (biased
+    segments become branch-likelies that only miss at their minority
+    outcomes; mixed segments keep the 2-bit scheme, estimated at its
+    whole-history rate).  Cost: per-iteration instrumentation overhead.
+
+    This generalizes the diamond arithmetic of Figures 2-4 to arbitrary
+    region shapes: when the region is not a clean diamond, prediction
+    behavior is the dominating term the split actually changes.
+    """
+    n = len(history)
+    if n == 0:
+        return 0.0
+    acc_whole = history.prediction_accuracy_2bit()
+    misses_before = (1.0 - acc_whole) * n
+
+    misses_after = 0.0
+    for seg in segments:
+        seg_len = seg.end - seg.start
+        if seg.kind == "taken":
+            misses_after += (1.0 - seg.freq) * seg_len
+        elif seg.kind == "nottaken":
+            misses_after += seg.freq * seg_len
+        else:
+            sub = history[seg.start:seg.end]
+            misses_after += (1.0 - sub.prediction_accuracy_2bit()) * seg_len
+
+    saved = (misses_before - misses_after) * heur.mispredict_penalty
+    overhead = heur.split_overhead_per_iter * n
+    return saved - overhead

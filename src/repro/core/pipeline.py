@@ -1,0 +1,142 @@
+"""End-to-end compilation pipelines.
+
+* :func:`compile_baseline` — what the paper's column 1 runs: the program as
+  the native compiler laid it out, locally list-scheduled.
+* :func:`compile_proposed` — the paper's proposed approach (column 2):
+  profile -> Figure 6 decisions -> split branches / if-conversion /
+  branch-likely conversion -> profile-prioritized region scheduling
+  (speculation) -> cleanup.  Runs *on top of* the same 2-bit hardware
+  prediction.
+
+Every pipeline returns a :class:`CompileResult` carrying the output program
+plus the decision trail, so experiments can report what was applied where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cfg.graph import CFG, build_cfg
+from ..cfg.loops import LoopForest
+from ..isa.program import Program
+from ..profilefb.profiledb import ProfileDB
+from ..sched.machine_model import DEFAULT_MODEL, MachineModel
+from ..sched.list_scheduler import reorder_block
+from ..sched.region import RegionReport, schedule_region
+from ..transform.branch_likely import LikelyReport, apply_branch_likely
+from ..transform.branch_split import SplitNotApplicable, split_from_profile
+from ..transform.dce import eliminate_dead_code
+from ..transform.ifconvert import if_convert_diamond
+from .algorithm import DecisionPlan, decide
+from .heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
+
+
+@dataclass
+class CompileResult:
+    """A compiled program plus the pipeline's decision trail."""
+
+    program: Program
+    plan: Optional[DecisionPlan] = None
+    splits_applied: int = 0
+    ifconverts_applied: int = 0
+    likely_report: Optional[LikelyReport] = None
+    region_report: Optional[RegionReport] = None
+    profile: Optional[ProfileDB] = None
+
+    def summary(self) -> str:
+        lines = [f"compiled {self.program.name}: "
+                 f"{len(self.program)} instructions"]
+        if self.plan is not None:
+            lines.append(self.plan.summary())
+        lines.append(f"  splits applied:      {self.splits_applied}")
+        lines.append(f"  if-conversions:      {self.ifconverts_applied}")
+        if self.likely_report is not None:
+            lines.append(f"  branch-likelies:     {self.likely_report.converted}")
+        if self.region_report is not None:
+            lines.append(f"  ops speculated:      {self.region_report.speculated}")
+            lines.append(f"  ops duplicated down: {self.region_report.duplicated}")
+        return "\n".join(lines)
+
+
+def compile_baseline(prog: Program,
+                     model: MachineModel = DEFAULT_MODEL) -> CompileResult:
+    """Locally schedule each block; no global transformation."""
+    cfg = build_cfg(prog)
+    for bb in cfg.blocks:
+        if bb.instructions:
+            reorder_block(bb, model)
+    return CompileResult(program=cfg.to_program(prog.name + ".base"))
+
+
+def compile_proposed(prog: Program,
+                     heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+                     model: MachineModel = DEFAULT_MODEL,
+                     profile: Optional[ProfileDB] = None,
+                     max_steps: int = 20_000_000) -> CompileResult:
+    """The paper's proposed scheme, end to end.
+
+    Pass a pre-built *profile* to skip the profiling run (e.g. to reuse one
+    run across ablation variants).
+    """
+    if profile is None:
+        profile = ProfileDB.from_run(prog, max_steps=max_steps,
+                                     config=heur.classify)
+    cfg = build_cfg(prog)
+    profile.annotate(cfg)
+    forest = LoopForest(cfg)
+    plan = decide(cfg, forest, profile, heur, model)
+    result = CompileResult(program=prog, plan=plan, profile=profile)
+
+    # 1. Branch splitting (changes loop structure: apply first, re-derive
+    #    the forest afterwards).
+    for d in plan.by_action("split"):
+        try:
+            split_from_profile(cfg, forest, d.block, profile,
+                               style=heur.split_style)
+            result.splits_applied += 1
+        except SplitNotApplicable:
+            continue
+    if result.splits_applied:
+        forest = LoopForest(cfg)
+
+    # 2. If-conversion (guarded execution).
+    for d in plan.by_action("ifconvert"):
+        if d.block not in cfg._by_id:
+            continue
+        if if_convert_diamond(cfg, d.block) is not None:
+            result.ifconverts_applied += 1
+
+    # 3. Branch-likely conversion — the global pass also covers clones via
+    #    their profile linkage; the Figure 6 "likely" decisions are a
+    #    subset of what it converts.
+    if heur.enable_likely:
+        result.likely_report = apply_branch_likely(cfg, profile)
+
+    # 4. Profile-prioritized speculation + local scheduling.
+    profile.annotate(cfg)
+    if heur.enable_speculation:
+        result.region_report = schedule_region(
+            cfg, model, bias_threshold=heur.speculation_bias,
+            max_moves_per_block=heur.max_moves_per_block,
+            profile=profile, mispredict_window=heur.mispredict_penalty)
+    else:
+        eliminate_dead_code(cfg)
+        for bb in cfg.blocks:
+            if bb.instructions:
+                reorder_block(bb, model)
+
+    result.program = cfg.to_program(prog.name + ".proposed")
+    return result
+
+
+def compile_variant(prog: Program, *, likely: bool = True, split: bool = True,
+                    ifconvert: bool = True, speculation: bool = True,
+                    heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+                    **kw) -> CompileResult:
+    """Ablation helper: the proposed pipeline with features toggled."""
+    from dataclasses import replace
+
+    heur = replace(heur, enable_likely=likely, enable_split=split,
+                   enable_ifconvert=ifconvert, enable_speculation=speculation)
+    return compile_proposed(prog, heur=heur, **kw)

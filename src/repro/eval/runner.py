@@ -1,0 +1,104 @@
+"""Scheme runner: executes the paper's three-way comparison.
+
+The paper's Tables 3 and 4 compare, per benchmark:
+
+1. ``2bitBP``      — native code, 512-entry 2-bit prediction;
+2. ``Proposed``    — the combined approach (branch splitting + guarded
+   execution + branch-likelies + prioritized speculation) *in addition to*
+   the same 2-bit prediction;
+3. ``PerfectBP``   — native code, perfect prediction (theoretical bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
+from ..core.pipeline import CompileResult, compile_baseline, compile_proposed
+from ..isa.program import Program
+from ..sim.config import MachineConfig, r10k_config
+from ..sim.functional import ExecStats, FunctionalSim
+from ..sim.pipeline import TimingSim
+from ..sim.stats import SimStats
+from ..workloads import benchmark_programs
+
+#: Scheme names in the paper's column order.
+SCHEMES = ("2bitBP", "Proposed", "PerfectBP")
+
+
+@dataclass
+class SchemeResult:
+    """One (benchmark, scheme) cell of the evaluation."""
+
+    benchmark: str
+    scheme: str
+    stats: SimStats
+    exec_stats: ExecStats
+    compile_result: Optional[CompileResult] = None
+
+
+@dataclass
+class BenchmarkRun:
+    """All three schemes for one benchmark."""
+
+    name: str
+    results: dict[str, SchemeResult] = field(default_factory=dict)
+
+    def __getitem__(self, scheme: str) -> SchemeResult:
+        return self.results[scheme]
+
+    @property
+    def improvement(self) -> float:
+        """Proposed-over-2bitBP IPC ratio (the paper's headline metric)."""
+        return (self.results["Proposed"].stats.ipc
+                / self.results["2bitBP"].stats.ipc)
+
+
+def _run(prog: Program, config: MachineConfig,
+         max_steps: int = 50_000_000) -> tuple[SimStats, ExecStats]:
+    fsim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=False)
+    tsim = TimingSim(config)
+    stats = tsim.run(fsim.trace())
+    return stats, fsim.stats
+
+
+def run_benchmark(name: str, prog: Program,
+                  heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+                  config_overrides: Optional[dict] = None,
+                  max_steps: int = 50_000_000) -> BenchmarkRun:
+    """Run the three schemes on one benchmark program."""
+    overrides = config_overrides or {}
+    base = compile_baseline(prog)
+    prop = compile_proposed(prog, heur=heur, max_steps=max_steps)
+    run = BenchmarkRun(name=name)
+
+    st, ex = _run(base.program, r10k_config("twobit", **overrides), max_steps)
+    run.results["2bitBP"] = SchemeResult(name, "2bitBP", st, ex, base)
+    st, ex = _run(prop.program, r10k_config("twobit", **overrides), max_steps)
+    run.results["Proposed"] = SchemeResult(name, "Proposed", st, ex, prop)
+    st, ex = _run(base.program, r10k_config("perfect", **overrides), max_steps)
+    run.results["PerfectBP"] = SchemeResult(name, "PerfectBP", st, ex, base)
+    return run
+
+
+def run_suite(scale: float = 1.0,
+              heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+              benchmarks: Optional[dict[str, Program]] = None,
+              config_overrides: Optional[dict] = None,
+              progress: Optional[Callable[[str], None]] = None,
+              max_steps: int = 50_000_000) -> dict[str, BenchmarkRun]:
+    """Run the full benchmark suite through all three schemes.
+
+    Returns ``{benchmark: BenchmarkRun}`` in the paper's benchmark order.
+    """
+    programs = benchmarks if benchmarks is not None \
+        else benchmark_programs(scale)
+    out: dict[str, BenchmarkRun] = {}
+    for name, prog in programs.items():
+        if progress:
+            progress(name)
+        out[name] = run_benchmark(name, prog, heur=heur,
+                                  config_overrides=config_overrides,
+                                  max_steps=max_steps)
+    return out

@@ -1,0 +1,195 @@
+"""Table generation: the paper's Tables 1-4 from a suite run.
+
+Each ``table_N`` function returns structured rows; ``format_table_N``
+renders the same rows as aligned text matching the paper's layout.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..sim.config import Latencies, MachineConfig, R10K
+from .runner import SCHEMES, BenchmarkRun
+
+#: Paper benchmark order (Table 1).
+PAPER_ORDER = ("compress", "espresso", "xlisp", "grep")
+
+
+def _ordered(runs: Mapping[str, BenchmarkRun]) -> list[str]:
+    known = [b for b in PAPER_ORDER if b in runs]
+    extra = [b for b in runs if b not in PAPER_ORDER]
+    return known + extra
+
+
+# ---------------------------------------------------------------------------
+# Table 1: benchmark characteristics
+# ---------------------------------------------------------------------------
+
+
+def table1(runs: Mapping[str, BenchmarkRun]) -> list[dict]:
+    """Benchmark characteristics of the *baseline* binaries.
+
+    Columns per the paper: dynamic instructions, % branch instructions in
+    the dynamic stream (conditional + jumps), % correctly predicted
+    branches under the 2-bit scheme.
+    """
+    rows = []
+    for name in _ordered(runs):
+        r = runs[name]["2bitBP"]
+        ex = r.exec_stats
+        control = ex.branches + ex.jumps
+        rows.append({
+            "benchmark": name,
+            "dynamic_instructions": ex.steps,
+            "branch_pct": 100.0 * control / ex.steps if ex.steps else 0.0,
+            "predicted_pct": 100.0 * r.stats.predictor.accuracy,
+        })
+    return rows
+
+
+def format_table1(runs: Mapping[str, BenchmarkRun]) -> str:
+    """Render Table 1 as aligned text."""
+    lines = [
+        "Table 1: Benchmark characteristics",
+        f"{'Benchmark':<12} {'Dynamic':>12} {'Branch':>10} {'Correctly':>12}",
+        f"{'':<12} {'instrs':>12} {'instrs %':>10} {'predicted %':>12}",
+    ]
+    for row in table1(runs):
+        lines.append(
+            f"{row['benchmark']:<12} {row['dynamic_instructions']:>12,} "
+            f"{row['branch_pct']:>10.2f} {row['predicted_pct']:>12.2f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 2: latencies (a configuration echo)
+# ---------------------------------------------------------------------------
+
+
+def table2(config: MachineConfig = R10K) -> list[dict]:
+    """The paper's Table 2: instruction latencies of the configuration."""
+    lat: Latencies = config.latencies
+    return [
+        {"instruction": "alu", "latency": lat.alu},
+        {"instruction": "ld/st", "latency": lat.ldst},
+        {"instruction": "sft", "latency": lat.sft},
+        {"instruction": "fp add", "latency": lat.fpadd},
+        {"instruction": "fp mul", "latency": lat.fpmul},
+        {"instruction": "fp div", "latency": lat.fpdiv},
+        {"instruction": "cache miss penalty", "latency": lat.cache_miss_penalty},
+    ]
+
+
+def format_table2(config: MachineConfig = R10K) -> str:
+    """Render Table 2 as aligned text."""
+    lines = ["Table 2: Latencies",
+             f"{'Instruction':<20} {'Latency':>8}"]
+    for row in table2(config):
+        lines.append(f"{row['instruction']:<20} {row['latency']:>8}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: reservation-station usage
+# ---------------------------------------------------------------------------
+
+
+def table3(runs: Mapping[str, BenchmarkRun]) -> list[dict]:
+    """% of commit cycles each reservation buffer (BR / LDST / ALU) was
+    full, per scheme."""
+    rows = []
+    for name in _ordered(runs):
+        row: dict = {"benchmark": name}
+        for scheme in SCHEMES:
+            st = runs[name][scheme].stats
+            row[scheme] = {
+                "BR": st.queue_full_pct("br"),
+                "LDST": st.queue_full_pct("ldst"),
+                "ALU": st.queue_full_pct("alu"),
+            }
+        rows.append(row)
+    return rows
+
+
+def format_table3(runs: Mapping[str, BenchmarkRun]) -> str:
+    """Render Table 3 as aligned text."""
+    lines = [
+        "Table 3: Reservation Station Usage Summary (% cycles full)",
+        f"{'Benchmark':<12}" + "".join(
+            f" | {s:^23}" for s in SCHEMES),
+        f"{'':<12}" + " | ".join([""] + [f"{'BR':>7}{'LDST':>8}{'ALU':>8}"
+                                         for _ in SCHEMES])[3:],
+    ]
+    for row in table3(runs):
+        cells = []
+        for scheme in SCHEMES:
+            c = row[scheme]
+            cells.append(f"{c['BR']:>7.2f}{c['LDST']:>8.2f}{c['ALU']:>8.2f}")
+        lines.append(f"{row['benchmark']:<12} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 4: functional-unit usage and IPC
+# ---------------------------------------------------------------------------
+
+
+def table4(runs: Mapping[str, BenchmarkRun]) -> list[dict]:
+    """% of commit cycles each unit class (ALU / LDST / SFT) was saturated,
+    plus IPC (excluding annulled), per scheme."""
+    rows = []
+    for name in _ordered(runs):
+        row: dict = {"benchmark": name}
+        for scheme in SCHEMES:
+            st = runs[name][scheme].stats
+            row[scheme] = {
+                "ALU": st.unit_full_pct("alu"),
+                "LDST": st.unit_full_pct("ldst"),
+                "SFT": st.unit_full_pct("sft"),
+                "IPC": st.ipc,
+            }
+        rows.append(row)
+    return rows
+
+
+def format_table4(runs: Mapping[str, BenchmarkRun]) -> str:
+    """Render Table 4 as aligned text."""
+    lines = [
+        "Table 4: Functional Unit Usage Summary and IPC",
+        f"{'Benchmark':<12}" + "".join(
+            f" | {s:^31}" for s in SCHEMES),
+        f"{'':<12}" + " | ".join([""] + [
+            f"{'ALU':>7}{'LDST':>8}{'SFT':>8}{'IPC':>7}" for _ in SCHEMES])[3:],
+    ]
+    for row in table4(runs):
+        cells = []
+        for scheme in SCHEMES:
+            c = row[scheme]
+            cells.append(f"{c['ALU']:>7.2f}{c['LDST']:>8.2f}"
+                         f"{c['SFT']:>8.2f}{c['IPC']:>7.3f}")
+        lines.append(f"{row['benchmark']:<12} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_improvements(runs: Mapping[str, BenchmarkRun]) -> str:
+    """Headline summary: Proposed/2bitBP and PerfectBP/2bitBP IPC ratios."""
+    lines = ["IPC improvement over the 2-bit baseline",
+             f"{'Benchmark':<12} {'Proposed':>10} {'Perfect':>10}"]
+    ratios = []
+    for name in _ordered(runs):
+        r = runs[name]
+        prop = r.improvement
+        perf = r["PerfectBP"].stats.ipc / r["2bitBP"].stats.ipc
+        ratios.append(prop)
+        lines.append(f"{name:<12} {prop:>9.2f}x {perf:>9.2f}x")
+    if ratios:
+        lines.append(f"{'geo-mean':<12} "
+                     f"{(_geomean(ratios)):>9.2f}x")
+    return "\n".join(lines)
+
+
+def _geomean(xs: list[float]) -> float:
+    p = 1.0
+    for x in xs:
+        p *= x
+    return p ** (1.0 / len(xs))

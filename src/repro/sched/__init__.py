@@ -1,0 +1,24 @@
+"""Scheduling substrate: machine model, dependence graphs, local list
+scheduling, and the profile-guided region scheduler."""
+
+from .machine_model import DEFAULT_MODEL, MachineModel
+from .ddg import DDG, DepEdge, build_ddg
+from .list_scheduler import (
+    Schedule, list_schedule, reorder_block, schedule_block, schedule_length,
+)
+from .modulo import (
+    CrossEdge, ModuloSchedule, NotPipelinable, cross_iteration_edges,
+    loop_pipeline_report, modulo_schedule, rec_mii, res_mii,
+)
+from .region import RegionReport, schedule_region
+
+__all__ = [
+    "DEFAULT_MODEL", "MachineModel",
+    "DDG", "DepEdge", "build_ddg",
+    "Schedule", "list_schedule", "reorder_block", "schedule_block",
+    "schedule_length",
+    "CrossEdge", "ModuloSchedule", "NotPipelinable",
+    "cross_iteration_edges", "loop_pipeline_report", "modulo_schedule",
+    "rec_mii", "res_mii",
+    "RegionReport", "schedule_region",
+]

@@ -1,0 +1,130 @@
+"""Local (basic-block) list scheduling.
+
+Produces the per-block schedules the paper's cost examples are built on:
+"the annotations on the basic blocks represent the schedule lengths obtained
+using a local scheduler" (Figure 2), and the *vacant slot* counts that the
+speculation heuristics fill ("assume that block one has four vacant slots").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.basic_block import BasicBlock
+from ..isa.instruction import Instruction
+from .ddg import DDG, build_ddg
+from .machine_model import DEFAULT_MODEL, MachineModel
+
+
+@dataclass
+class Schedule:
+    """A cycle-accurate local schedule of one instruction sequence."""
+
+    instructions: list[Instruction]
+    start: dict[int, int] = field(default_factory=dict)  # node -> cycle
+    cycles: list[list[int]] = field(default_factory=list)  # cycle -> nodes
+    length: int = 0  # cycles until every op completes ("schedule length")
+
+    def linear_order(self) -> list[int]:
+        """Instruction indices in schedule order (cycle, then original)."""
+        out: list[int] = []
+        for ops in self.cycles:
+            out.extend(sorted(ops))
+        return out
+
+    def vacant_slots(self, model: MachineModel = DEFAULT_MODEL) -> int:
+        """Unused issue slots across the schedule's issue cycles.
+
+        This is the quantity the speculation pass fills with operations
+        hoisted from successor blocks.
+        """
+        issue_cycles = len(self.cycles)
+        return issue_cycles * model.issue_width - len(self.instructions)
+
+
+def list_schedule(instructions: list[Instruction],
+                  model: MachineModel = DEFAULT_MODEL,
+                  ddg: DDG | None = None) -> Schedule:
+    """Greedy cycle-by-cycle list scheduling.
+
+    Priority: critical-path height (descending), original order as the
+    tiebreak.  Resources: total issue width plus per-unit slots per cycle.
+    A block terminator issues only after every other operation has been
+    scheduled (it ends the block).
+    """
+    n = len(instructions)
+    sched = Schedule(instructions=list(instructions))
+    if n == 0:
+        return sched
+    ddg = ddg or build_ddg(instructions, model)
+    height = ddg.critical_path_heights(model)
+
+    terminator = n - 1 if instructions[-1].is_control else None
+    unscheduled = set(range(n))
+    earliest = [0] * n
+    cycle = 0
+    max_cycles_guard = 10 * n + 64
+
+    while unscheduled:
+        ready = []
+        for i in sorted(unscheduled):
+            if earliest[i] > cycle:
+                continue
+            if any(e.src in unscheduled for e in ddg.predecessors(i)):
+                continue
+            if i == terminator and len(unscheduled) > 1:
+                continue
+            ready.append(i)
+        ready.sort(key=lambda i: (-height[i], i))
+
+        used_width = 0
+        used_slots: dict[str, int] = {}
+        issued: list[int] = []
+        for i in ready:
+            if used_width >= model.issue_width:
+                break
+            key = model.unit_key(instructions[i])
+            if used_slots.get(key, 0) >= model.slots_for(key):
+                continue
+            used_width += 1
+            used_slots[key] = used_slots.get(key, 0) + 1
+            issued.append(i)
+            sched.start[i] = cycle
+            unscheduled.discard(i)
+            for e in ddg.successors(i):
+                earliest[e.dst] = max(earliest[e.dst], cycle + e.weight)
+        sched.cycles.append(issued)
+        cycle += 1
+        if cycle > max_cycles_guard:  # pragma: no cover - safety net
+            raise RuntimeError("list scheduler failed to converge")
+
+    sched.length = max(sched.start[i] + model.latency(instructions[i])
+                       for i in range(n))
+    # Trim trailing empty cycles (can appear while waiting on latencies).
+    while sched.cycles and not sched.cycles[-1]:
+        sched.cycles.pop()
+    return sched
+
+
+def schedule_length(instructions: list[Instruction],
+                    model: MachineModel = DEFAULT_MODEL) -> int:
+    """Shortcut: schedule and return the length only."""
+    return list_schedule(instructions, model).length
+
+
+def schedule_block(bb: BasicBlock,
+                   model: MachineModel = DEFAULT_MODEL) -> Schedule:
+    """Schedule a basic block's instructions."""
+    return list_schedule(bb.instructions, model)
+
+
+def reorder_block(bb: BasicBlock, model: MachineModel = DEFAULT_MODEL) -> Schedule:
+    """Schedule a block and rewrite its instruction order to match.
+
+    The relative order within a cycle keeps original positions (stable), so
+    the terminator remains last.
+    """
+    sched = schedule_block(bb, model)
+    order = sched.linear_order()
+    bb.instructions = [bb.instructions[i] for i in order]
+    return sched

@@ -1,0 +1,28 @@
+"""R10000-like machine: functional executor + cycle-level timing model."""
+
+from .config import Latencies, MachineConfig, R10K, r10k_config
+from .memory import AlignmentError, Memory
+from .functional import (
+    ExecStats, ExecutionLimitExceeded, FunctionalSim, TraceEntry, final_state,
+    run_program, to_signed, to_unsigned,
+)
+from .branch_pred import (
+    BranchPredictor, PerfectPredictor, PredictorStats, StaticTakenPredictor,
+    TwoBitPredictor, TwoLevelPredictor, make_predictor,
+)
+from .cache import Cache, CacheStats
+from .stats import SimStats
+from .pipeline import TimingSim, simulate
+
+__all__ = [
+    "Latencies", "MachineConfig", "R10K", "r10k_config",
+    "AlignmentError", "Memory",
+    "ExecStats", "ExecutionLimitExceeded", "FunctionalSim", "TraceEntry",
+    "final_state", "run_program", "to_signed", "to_unsigned",
+    "BranchPredictor", "PerfectPredictor", "PredictorStats",
+    "StaticTakenPredictor", "TwoBitPredictor", "TwoLevelPredictor",
+    "make_predictor",
+    "Cache", "CacheStats",
+    "SimStats",
+    "TimingSim", "simulate",
+]

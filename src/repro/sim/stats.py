@@ -1,0 +1,83 @@
+"""Timing-simulation statistics: everything Tables 3 and 4 report.
+
+Percentages follow the paper's footnotes: "% times <buffer/unit> is full,
+ratio to the final commit cycle"; IPC "excluding annulled" instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .branch_pred import PredictorStats
+from .cache import CacheStats
+
+
+@dataclass
+class SimStats:
+    """Results of one timing-simulation run."""
+
+    cycles: int = 0
+    committed: int = 0            # committed instructions excluding annulled
+    annulled: int = 0
+    dispatched: int = 0
+
+    #: cycles each reservation buffer was full, keyed "br"/"ldst"/"alu"/"fp"
+    queue_full_cycles: dict[str, int] = field(default_factory=dict)
+    #: cycles each unit class had every unit busy, keyed "alu"/"ldst"/"sft"/
+    #: "fpadd"/"fpmul"/"fpdiv"/"br"
+    unit_full_cycles: dict[str, int] = field(default_factory=dict)
+    #: total issues per unit class (utilization numerator)
+    unit_issues: dict[str, int] = field(default_factory=dict)
+
+    fetch_stall_cycles: int = 0    # cycles fetch was blocked (mispredict/jr)
+    icache_stall_cycles: int = 0
+    mispredict_events: int = 0
+    indirect_stall_events: int = 0
+    #: wrong-path instructions dispatched and squashed (only non-zero when
+    #: the TimingSim runs with model_wrong_path=True)
+    wrong_path_squashed: int = 0
+
+    predictor: PredictorStats = field(default_factory=PredictorStats)
+    icache: CacheStats = field(default_factory=CacheStats)
+    dcache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle, excluding annulled (Table 4 note 7)."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def queue_full_pct(self, name: str) -> float:
+        """Table 3: % of commit cycles the named reservation buffer was full."""
+        if not self.cycles:
+            return 0.0
+        return 100.0 * self.queue_full_cycles.get(name, 0) / self.cycles
+
+    def unit_full_pct(self, name: str) -> float:
+        """Table 4: % of commit cycles the named unit class was saturated."""
+        if not self.cycles:
+            return 0.0
+        return 100.0 * self.unit_full_cycles.get(name, 0) / self.cycles
+
+    def unit_utilization(self, name: str, num_units: int) -> float:
+        """Fraction of unit-cycles actually used (ablation metric)."""
+        if not self.cycles or not num_units:
+            return 0.0
+        return self.unit_issues.get(name, 0) / (self.cycles * num_units)
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles               {self.cycles}",
+            f"committed            {self.committed}",
+            f"annulled             {self.annulled}",
+            f"IPC                  {self.ipc:.3f}",
+            f"branch accuracy      {self.predictor.accuracy * 100:.2f}%",
+            f"mispredict events    {self.mispredict_events}",
+            f"fetch stall cycles   {self.fetch_stall_cycles}",
+            "queue full %         " + "  ".join(
+                f"{k}={self.queue_full_pct(k):.2f}"
+                for k in ("br", "ldst", "alu", "fp")),
+            "unit full %          " + "  ".join(
+                f"{k}={self.unit_full_pct(k):.2f}"
+                for k in ("alu", "ldst", "sft")),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Branch-likely conversion (paper Sections 3 and 5).
+
+"The branch-likely instructions are inserted to regulate control flow and
+give more priority to instruction traces for the portion of the loop
+execution where the probability (or profitability) of that instruction
+trace is very high."
+
+Highly-taken branches are rewritten to their ``-likely`` twins; highly
+NOT-taken branches are first negated (taken/fall-through successors swap)
+so that the likely form points down the frequent path.  Branch-likelies are
+always predicted taken and hold no BHT/BTB entry, so this both removes the
+mispredictions on the biased branch and stops it competing for predictor
+capacity (paper: "there are now less branch instructions which compete
+against each other").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import CFG
+from ..isa.opcodes import LIKELY_OF, NEGATED_BRANCH
+from ..profilefb.classify import BranchClass
+from ..profilefb.profiledb import ProfileDB
+
+
+@dataclass
+class LikelyReport:
+    converted: int = 0
+    negated: int = 0
+    skipped_unsupported: int = 0
+    details: list[tuple[int, str, str]] = field(default_factory=list)
+
+
+def negate_branch(cfg: CFG, bid: int) -> bool:
+    """Invert the sense of the conditional branch ending block *bid*,
+    swapping its taken and fall-through edges.  Returns False when the
+    opcode has no negation (e.g. register-pair compare forms all do)."""
+    bb = cfg.block(bid)
+    term = bb.terminator
+    if term is None or not term.is_branch:
+        return False
+    negated = NEGATED_BRANCH.get(term.op)
+    if negated is None:
+        return False
+    te, fe = cfg.taken_edge(bid), cfg.fall_edge(bid)
+    if te is None or fe is None:
+        return False
+    bb.instructions[-1] = term.clone(op=negated, fresh_uid=True)
+    te.kind, fe.kind = "fall", "taken"
+    return True
+
+
+def apply_branch_likely(cfg: CFG, profile: ProfileDB) -> LikelyReport:
+    """Rewrite highly-biased branches to branch-likely form, in place.
+
+    Classification comes from the profile: ``HIGHLY_TAKEN`` converts
+    directly; ``HIGHLY_NOTTAKEN`` negates first.  Branches with no profile
+    record (never executed) are left alone.
+    """
+    report = LikelyReport()
+    for bb in cfg.blocks:
+        term = bb.terminator
+        if term is None or not term.is_branch or term.is_likely:
+            continue
+        bp = profile.branch_of(term)
+        if bp is None:
+            continue
+        cls = bp.classification.branch_class
+        if cls == BranchClass.HIGHLY_TAKEN:
+            likely = LIKELY_OF.get(term.op)
+            if likely is None:
+                report.skipped_unsupported += 1
+                continue
+            bb.instructions[-1] = term.clone(op=likely, fresh_uid=True)
+            report.converted += 1
+            report.details.append((bb.bid, term.op, likely))
+        elif cls == BranchClass.HIGHLY_NOTTAKEN:
+            if term.op not in NEGATED_BRANCH or \
+                    NEGATED_BRANCH[term.op] not in LIKELY_OF:
+                report.skipped_unsupported += 1
+                continue
+            if not negate_branch(cfg, bb.bid):
+                report.skipped_unsupported += 1
+                continue
+            new_term = bb.instructions[-1]
+            bb.instructions[-1] = new_term.clone(
+                op=LIKELY_OF[new_term.op], fresh_uid=True)
+            report.converted += 1
+            report.negated += 1
+            report.details.append((bb.bid, term.op, bb.instructions[-1].op))
+    return report

@@ -1,0 +1,477 @@
+"""Split-branch transformation — the paper's central contribution
+(Sections 4-5, Figures 5 and 7).
+
+A loop branch whose behavior is *phased* over the iteration space (e.g.
+taken for the first 40 % of iterations, toggling for 20 %, not-taken for the
+final 40 %) is split so that each well-predicted segment runs a trace
+specialized with branch-likely instructions, while anomalous segments keep
+the plain branch (and the hardware's 2-bit prediction).
+
+Two codegen styles are provided:
+
+* :func:`split_branch_sectioned` (the default) realizes the paper's
+  Figure 5 schematic: the loop body is **cloned once per segment** (boxes
+  I/II/III), the split branch is bias-specialized per clone (likely toward
+  the frequent direction, or left plain in anomalous segments), and each
+  clone's latch carries a branch-likely "stay in this section while
+  ``i < boundary`` and the loop continues" test, falling into the next
+  section's code when the boundary is crossed.  Every emitted branch-likely
+  is overwhelmingly taken when executed, which is what makes the transform
+  profitable under the R10000's always-predicted-taken likely semantics.
+
+* :func:`split_branch_inline` is the literal Figure 7(b) encoding: one copy
+  of the loop with split predicates ``p2 = i < s1`` / ``p3 = i >= s2`` and
+  guarded branch-likelies evaluated **every iteration**.  Reproduction
+  note (see EXPERIMENTS.md): under always-predicted-taken semantics this
+  form mispredicts each likely branch throughout the segments where its
+  predicate is false, so it *degrades* prediction accuracy; we keep it as
+  the faithful transcription of the figure, but the compilation pipeline
+  uses the sectioned form, whose behavior matches the paper's intent and
+  reported direction of improvement.
+
+Both styles instrument the loop with an iteration counter (``i = 0`` in the
+preheader, ``i = i + 1`` in every latch) exactly as Figure 7(b) shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..cfg.graph import CFG
+from ..cfg.loops import Loop, LoopForest
+from ..isa.instruction import Instruction, make
+from ..isa.registers import RegisterPool
+from ..profilefb.segments import Segment
+from .ifconvert import branch_condition_to_cc
+from .renaming import free_registers
+
+
+@dataclass
+class SplitReport:
+    """What one split did: allocated registers and emitted branches."""
+
+    branch_block: int
+    counter: str
+    cond_cc: str
+    likely_branches: int = 0
+    boundaries: list[int] = field(default_factory=list)
+    new_blocks: list[int] = field(default_factory=list)
+
+
+class SplitNotApplicable(Exception):
+    """The branch/loop shape or register pressure rules out splitting."""
+
+
+def ensure_preheader(cfg: CFG, loop: Loop) -> int:
+    """Return the id of a preheader block for *loop*, creating one if
+    needed (a block whose only successor is the header and which receives
+    every loop-entry edge)."""
+    header = loop.header
+    back_srcs = {src for src, _ in loop.back_edges}
+    entry_edges = [e for e in cfg.pred_edges[header] if e.src not in back_srcs]
+    if len(entry_edges) == 1:
+        src = entry_edges[0].src
+        if cfg.succs(src) == [header]:
+            term = cfg.block(src).terminator
+            if term is None or not term.is_branch:
+                return src
+    pre = cfg.new_block()
+    # Place the preheader immediately before the header in layout.
+    cfg.blocks.remove(pre)
+    cfg.blocks.insert(cfg.layout_index(header), pre)
+    for e in list(entry_edges):
+        e.dst = pre.bid
+        cfg.pred_edges[header].remove(e)
+        cfg.pred_edges[pre.bid].append(e)
+    cfg.add_edge(pre.bid, header, "fall")
+    pre.freq = sum(e.freq for e in entry_edges)
+    return pre.bid
+
+
+def insert_counter(cfg: CFG, loop: Loop, counter: str) -> None:
+    """Initialize *counter* to 0 in the preheader and increment it once per
+    iteration in every latch (back-edge source), before the terminator."""
+    pre = ensure_preheader(cfg, loop)
+    pb = cfg.block(pre)
+    at = len(pb.instructions) - (1 if pb.terminator is not None else 0)
+    pb.instructions.insert(at, make("li", counter, 0, split_counter=True))
+    for latch, _ in loop.back_edges:
+        lb = cfg.block(latch)
+        at = len(lb.instructions) - (1 if lb.terminator is not None else 0)
+        lb.instructions.insert(
+            at, make("addi", counter, counter, 1, split_counter=True))
+
+
+def split_branch_inline(cfg: CFG, forest: LoopForest, branch_bid: int,
+                        segments: Sequence[Segment],
+                        int_pool: Optional[RegisterPool] = None,
+                        cc_pool: Optional[RegisterPool] = None) -> SplitReport:
+    """The literal Figure 7(b) inline encoding (see module docstring for
+    why the sectioned form is preferred in practice).
+
+    Supports 2- or 3-segment phasings where the first and/or last segment
+    is biased (``taken``/``nottaken``); other shapes raise
+    :class:`SplitNotApplicable`.  The CFG is modified in place.
+    """
+    if not 2 <= len(segments) <= 3:
+        raise SplitNotApplicable(f"{len(segments)} segments (need 2 or 3)")
+    first, last = segments[0], segments[-1]
+    if first.kind == "mixed" and last.kind == "mixed":
+        raise SplitNotApplicable("no biased outer segment to specialize")
+    middles = list(segments[1:-1])
+    if any(False for _ in middles):  # pragma: no cover - clarity only
+        pass
+
+    bb = cfg.block(branch_bid)
+    term = bb.terminator
+    if term is None or not term.is_branch:
+        raise SplitNotApplicable("block does not end in a conditional branch")
+    loop = forest.loop_of_block(branch_bid)
+    if loop is None:
+        raise SplitNotApplicable("branch is not inside a loop")
+    te, fe = cfg.taken_edge(branch_bid), cfg.fall_edge(branch_bid)
+    if te is None or fe is None:
+        raise SplitNotApplicable("branch lacks taken/fall successors")
+    taken_dst, fall_dst = te.dst, fe.dst
+
+    int_pool = int_pool or free_registers(cfg, "int")
+    cc_pool = cc_pool or free_registers(cfg, "cc")
+    # p_cond plus two registers for at least one specialized segment; with
+    # fewer free cc registers the split cannot emit any likely branch.
+    if len(int_pool) < 1 or len(cc_pool) < 3:
+        raise SplitNotApplicable("not enough free registers")
+
+    counter = int_pool.take()
+    p_cond = cc_pool.take()
+    try:
+        cond_instrs = branch_condition_to_cc(term, p_cond)
+    except ValueError as exc:
+        raise SplitNotApplicable(str(exc)) from None
+
+    insert_counter(cfg, loop, counter)
+
+    report = SplitReport(branch_block=branch_bid, counter=counter,
+                         cond_cc=p_cond,
+                         boundaries=[s.start for s in segments[1:]])
+
+    # Rebuild the branch block's tail: condition into p_cond, then a chain
+    # of (likely-)branch blocks.
+    for i in cond_instrs:
+        i.ann["split_cond"] = True
+    bb.instructions = bb.instructions[:-1] + cond_instrs
+    cfg.remove_edges_from(branch_bid)
+
+    current = bb
+    freq_total = bb.freq
+
+    def end_block_with(branch: Instruction, target_bid: int) -> None:
+        """Terminate *current* with a branch to target and chain a new
+        fall-through block."""
+        nonlocal current
+        branch.ann["split_branch"] = True
+        current.instructions.append(branch)
+        nxt = cfg.new_block(after=current.bid)
+        nxt.freq = current.freq
+        report.new_blocks.append(nxt.bid)
+        cfg.add_edge(current.bid, target_bid, "taken")
+        cfg.add_edge(current.bid, nxt.bid, "fall")
+        # Loop bookkeeping: the chained block belongs to the same loop.
+        loop.body.add(nxt.bid)
+        current = nxt
+
+    # Segment 1: counter < s1 (uses two cc registers: range + selector).
+    if first.kind != "mixed" and len(cc_pool) >= 2:
+        s1 = segments[1].start
+        p_lo = cc_pool.take()
+        p_sel = cc_pool.take()
+        current.instructions.append(
+            make("cmpi", p_lo, counter, s1, split_pred=True))
+        if first.kind == "taken":
+            current.instructions.append(
+                make("cand", p_sel, p_cond, p_lo, split_pred=True))
+            end_block_with(make("bctl", p_sel, "_"), taken_dst)
+        else:  # nottaken-biased: likely-branch to the fall-through path
+            current.instructions.append(
+                make("cnot", p_sel, p_cond, split_pred=True))
+            current.instructions.append(
+                make("cand", p_sel, p_sel, p_lo, split_pred=True))
+            end_block_with(make("bctl", p_sel, "_"), fall_dst)
+        report.likely_branches += 1
+
+    # Last segment: counter >= s_last (two more cc registers).
+    if len(segments) >= 2 and last.kind != "mixed" and len(cc_pool) >= 2:
+        s_last = last.start
+        p_hi = cc_pool.take()
+        p_sel2 = cc_pool.take()
+        current.instructions.append(
+            make("cmpi", p_hi, counter, s_last, split_pred=True))
+        current.instructions.append(
+            make("cnot", p_hi, p_hi, split_pred=True))  # counter >= s_last
+        if last.kind == "taken":
+            current.instructions.append(
+                make("cand", p_sel2, p_cond, p_hi, split_pred=True))
+            end_block_with(make("bctl", p_sel2, "_"), taken_dst)
+        else:
+            current.instructions.append(
+                make("cnot", p_sel2, p_cond, split_pred=True))
+            current.instructions.append(
+                make("cand", p_sel2, p_sel2, p_hi, split_pred=True))
+            end_block_with(make("bctl", p_sel2, "_"), fall_dst)
+        report.likely_branches += 1
+
+    if report.likely_branches == 0:
+        raise SplitNotApplicable("could not specialize any segment")
+
+    # Fallback: the plain branch on the original condition.
+    final = make("bct", p_cond, "_")
+    final.ann["split_branch"] = True
+    current.instructions.append(final)
+    cfg.add_edge(current.bid, taken_dst, "taken")
+    cfg.add_edge(current.bid, fall_dst, "fall")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Sectioned splitting (the Figure 5 schematic) — the default style
+# ---------------------------------------------------------------------------
+
+
+def _clone_region(cfg: CFG, block_ids: list[int],
+                  place_before: int) -> dict[int, int]:
+    """Clone the blocks in *block_ids* (with fresh uids and auto labels),
+    inserting the clones in layout order just before block *place_before*.
+
+    Edges between cloned blocks are duplicated onto the clones; edges
+    leaving the region keep their original destinations.  Returns the
+    old-id -> new-id mapping.
+    """
+    layout = {bb.bid: i for i, bb in enumerate(cfg.blocks)}
+    ordered = sorted(block_ids, key=layout.get)
+    mapping: dict[int, int] = {}
+    insert_at = cfg.layout_index(place_before)
+    for old in ordered:
+        nb = cfg.new_block()
+        cfg.blocks.remove(nb)
+        cfg.blocks.insert(insert_at, nb)
+        insert_at += 1
+        nb.freq = cfg.block(old).freq
+        clones = []
+        for ins in cfg.block(old).instructions:
+            c = ins.clone(fresh_uid=True)
+            # Keep the profile linkage: a clone answers for its original in
+            # ProfileDB lookups (branch-likely conversion after sectioning).
+            c.ann.setdefault("cloned_from_uid",
+                             ins.ann.get("cloned_from_uid", ins.uid))
+            clones.append(c)
+        nb.instructions = clones
+        mapping[old] = nb.bid
+    for old in ordered:
+        for e in cfg.succ_edges[old]:
+            dst = mapping.get(e.dst, e.dst)
+            cfg.add_edge(mapping[old], dst, e.kind, e.freq)
+    return mapping
+
+
+def _specialize_branch(cfg: CFG, bid: int, kind: str) -> bool:
+    """Rewrite the conditional branch ending *bid* for a segment of the
+    given kind: likely toward the frequent direction.  Returns True if a
+    likely branch was emitted."""
+    from ..isa.opcodes import LIKELY_OF
+    from .branch_likely import negate_branch
+
+    bb = cfg.block(bid)
+    term = bb.terminator
+    assert term is not None and term.is_branch
+    origin = term.ann.get("cloned_from_uid", term.uid)
+    if kind == "taken":
+        likely = LIKELY_OF.get(term.op)
+        if likely is None:
+            return False
+        bb.instructions[-1] = term.clone(op=likely, fresh_uid=True)
+        bb.instructions[-1].ann["split_branch"] = True
+        bb.instructions[-1].ann["cloned_from_uid"] = origin
+        return True
+    if kind == "nottaken":
+        if not negate_branch(cfg, bid):
+            return False
+        new_term = bb.instructions[-1]
+        likely = LIKELY_OF.get(new_term.op)
+        if likely is None:
+            return False
+        bb.instructions[-1] = new_term.clone(op=likely, fresh_uid=True)
+        bb.instructions[-1].ann["split_branch"] = True
+        bb.instructions[-1].ann["cloned_from_uid"] = origin
+        return True
+    return False  # mixed: keep the plain branch
+
+
+def split_branch_sectioned(cfg: CFG, forest: LoopForest, branch_bid: int,
+                           segments: Sequence[Segment],
+                           int_pool: Optional[RegisterPool] = None,
+                           cc_pool: Optional[RegisterPool] = None,
+                           ) -> SplitReport:
+    """Split via loop sectioning (paper Figure 5): one body clone per
+    segment, bias-specialized branch per clone, branch-likely section-stay
+    tests in the latches.
+
+    Requirements: the branch is a forward conditional inside a natural loop
+    with a single back edge whose latch ends in a conditional branch taken
+    back to the header.  2-4 segments supported.  Raises
+    :class:`SplitNotApplicable` when the shape or register pressure rules
+    it out; the CFG is only modified when the transform succeeds.
+    """
+    if not 2 <= len(segments) <= 4:
+        raise SplitNotApplicable(f"{len(segments)} segments (need 2-4)")
+    if all(s.kind == "mixed" for s in segments):
+        raise SplitNotApplicable("no biased segment to specialize")
+    bb = cfg.block(branch_bid)
+    term = bb.terminator
+    if term is None or not term.is_branch:
+        raise SplitNotApplicable("block does not end in a conditional branch")
+    loop = forest.loop_of_block(branch_bid)
+    if loop is None:
+        raise SplitNotApplicable("branch is not inside a loop")
+    if len(loop.back_edges) != 1:
+        raise SplitNotApplicable("loop has multiple back edges")
+    latch, header = loop.back_edges[0]
+    if latch == branch_bid:
+        raise SplitNotApplicable("cannot section on the loop-closing branch")
+    latch_bb = cfg.block(latch)
+    latch_term = latch_bb.terminator
+    if latch_term is None or not latch_term.is_branch:
+        raise SplitNotApplicable("latch does not end in a conditional branch")
+    lte = cfg.taken_edge(latch)
+    lfe = cfg.fall_edge(latch)
+    if lte is None or lfe is None or lte.dst != header:
+        raise SplitNotApplicable("latch taken edge does not close the loop")
+    exit_dst = lfe.dst
+
+    int_pool = int_pool or free_registers(cfg, "int")
+    cc_pool = cc_pool or free_registers(cfg, "cc")
+    if len(int_pool) < 1 or len(cc_pool) < 3:
+        raise SplitNotApplicable("not enough free registers")
+    counter = int_pool.take()
+    p_loop = cc_pool.take()
+    p_in = cc_pool.take()
+    p_stay = cc_pool.take()
+    try:
+        loop_cond = branch_condition_to_cc(latch_term, p_loop)
+    except ValueError as exc:
+        raise SplitNotApplicable(str(exc)) from None
+
+    report = SplitReport(branch_block=branch_bid, counter=counter,
+                         cond_cc=p_loop,
+                         boundaries=[s.start for s in segments[1:]])
+
+    preheader = ensure_preheader(cfg, loop)
+    insert_counter(cfg, loop, counter)
+    body = sorted(loop.body)
+
+    # Build clones for segments 1..k-1 (the original body serves the last
+    # segment), laid out in segment order before the original header.
+    clone_maps: list[dict[int, int]] = []
+    for _seg in segments[:-1]:
+        clone_maps.append(_clone_region(cfg, body, place_before=header))
+    # Identity mapping for the final segment.
+    clone_maps.append({b: b for b in body})
+
+    # Specialize the split branch in every section, and stamp each section
+    # with its share of the iteration space so later profile annotation
+    # reflects PER-SEGMENT behavior — the paper's Figure 3 point: "the
+    # operations from the true branch will be given more priority in the
+    # first [segment] ... while giving operations in the false path more
+    # priority in the last [segment]".
+    total_iters = max(1, segments[-1].end)
+    for seg, cmap in zip(segments, clone_maps):
+        if _specialize_branch(cfg, cmap[branch_bid], seg.kind):
+            report.likely_branches += 1
+        report.new_blocks.extend(v for k, v in cmap.items() if v != k)
+        fraction = seg.length / total_iters
+        for bid in cmap.values():
+            for ins in cfg.block(bid).instructions:
+                ins.ann["split_fraction"] = fraction
+        sec_term = cfg.block(cmap[branch_bid]).terminator
+        if sec_term is not None and sec_term.is_branch:
+            sec_term.ann["split_segment"] = (seg.start, seg.end)
+            if seg.kind == "nottaken":
+                # The branch was negated: its taken direction now follows
+                # the original fall path.
+                sec_term.ann["split_segment_negated"] = True
+
+    # Rewrite each non-final section's latch:
+    #   p_loop = <loop-continue condition>
+    #   p_in   = counter < boundary
+    #   p_stay = p_loop && p_in
+    #   bctl p_stay -> this section's header          (hot, likely)
+    #   bct  p_loop -> next section's header          (once per boundary)
+    #   (fall)      -> loop exit
+    for s, (seg, cmap) in enumerate(zip(segments[:-1], clone_maps[:-1])):
+        boundary = segments[s + 1].start
+        sec_latch = cmap[latch]
+        sec_header = cmap[header]
+        next_header = clone_maps[s + 1][header]
+        lb = cfg.block(sec_latch)
+        lb.instructions = lb.instructions[:-1]
+        for i in loop_cond:
+            lb.instructions.append(i.clone(fresh_uid=True))
+        lb.instructions.append(make("cmpi", p_in, counter, boundary,
+                                    split_pred=True))
+        lb.instructions.append(make("cand", p_stay, p_loop, p_in,
+                                    split_pred=True))
+        cfg.remove_edges_from(sec_latch)
+        stay = make("bctl", p_stay, "_")
+        stay.ann["split_branch"] = True
+        lb.instructions.append(stay)
+        cfg.add_edge(sec_latch, sec_header, "taken")
+        hand = cfg.new_block(after=sec_latch)
+        hand.freq = lb.freq
+        report.new_blocks.append(hand.bid)
+        cfg.add_edge(sec_latch, hand.bid, "fall")
+        cont = make("bct", p_loop, "_")
+        cont.ann["split_branch"] = True
+        hand.instructions.append(cont)
+        cfg.add_edge(hand.bid, next_header, "taken")
+        cfg.add_edge(hand.bid, exit_dst, "fall")
+        report.likely_branches += 1
+
+    # The loop-entry edge (from the preheader) now targets section 1.
+    first_header = clone_maps[0][header]
+    if first_header != header:
+        for e in list(cfg.pred_edges[header]):
+            if e.src != preheader:
+                continue
+            cfg.pred_edges[header].remove(e)
+            e.dst = first_header
+            cfg.pred_edges[first_header].append(e)
+    return report
+
+
+def split_branch(cfg: CFG, forest: LoopForest, branch_bid: int,
+                 segments: Sequence[Segment],
+                 style: str = "sectioned", **kw) -> SplitReport:
+    """Split a phased loop branch.  ``style`` selects the codegen:
+    ``"sectioned"`` (Figure 5, the default) or ``"inline"`` (Figure 7(b)).
+    """
+    if style == "sectioned":
+        return split_branch_sectioned(cfg, forest, branch_bid, segments, **kw)
+    if style == "inline":
+        return split_branch_inline(cfg, forest, branch_bid, segments, **kw)
+    raise ValueError(f"unknown split style {style!r}")
+
+
+def split_from_profile(cfg: CFG, forest: LoopForest, branch_bid: int,
+                       profile, style: str = "sectioned", **kw) -> SplitReport:
+    """Convenience: split using the phased segmentation recorded in a
+    :class:`~repro.profilefb.profiledb.ProfileDB` for this block's branch."""
+    term = cfg.block(branch_bid).terminator
+    if term is None:
+        raise SplitNotApplicable("no terminator")
+    bp = profile.branch_of(term)
+    if bp is None:
+        raise SplitNotApplicable("branch has no profile record")
+    pattern = bp.classification.pattern
+    if pattern.kind != "phased":
+        raise SplitNotApplicable(f"pattern is {pattern.kind}, not phased")
+    return split_branch(cfg, forest, branch_bid, pattern.segments,
+                        style=style, **kw)

@@ -1,0 +1,40 @@
+"""Local copy propagation.
+
+Within each block, after ``mov rd, rs``, reads of ``rd`` become reads of
+``rs`` until either register is redefined.  Combined with DCE this removes
+the copies software renaming inserts when they turn out to be unnecessary.
+"""
+
+from __future__ import annotations
+
+from ..cfg.graph import CFG
+from ..cfg.basic_block import BasicBlock
+
+
+def propagate_copies_block(bb: BasicBlock) -> int:
+    """Propagate copies within one block; returns uses rewritten."""
+    rewritten = 0
+    copy_of: dict[str, str] = {}
+    for i, ins in enumerate(bb.instructions):
+        # Rewrite uses through the current copy map.
+        mapping = {r: copy_of[r] for r in ins.srcs if r in copy_of}
+        if mapping:
+            bb.instructions[i] = ins.with_substituted_uses(mapping)
+            ins = bb.instructions[i]
+            rewritten += len(mapping)
+        # Kill mappings invalidated by this instruction's defs.
+        for r in ins.defs():
+            copy_of.pop(r, None)
+            for k in [k for k, v in copy_of.items() if v == r]:
+                del copy_of[k]
+        # Record a new copy (unguarded moves only — a guarded move is a
+        # partial write and not a reliable alias).
+        if ins.op == "mov" and ins.guard is None and ins.dest is not None \
+                and ins.dest != ins.srcs[0]:
+            copy_of[ins.dest] = ins.srcs[0]
+    return rewritten
+
+
+def propagate_copies(cfg: CFG) -> int:
+    """Run local copy propagation over every block."""
+    return sum(propagate_copies_block(bb) for bb in cfg.blocks)

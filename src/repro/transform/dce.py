@@ -1,0 +1,53 @@
+"""Dead-code elimination over a CFG.
+
+Removes instructions whose results are never observed: no side effects
+(stores, calls, control) and destination dead at that point.  Runs to a
+fixpoint; primarily used to clean up copies left over after speculation +
+forward substitution ("redundant load-store removal" class of peephole
+cleanups, paper Section 1).
+"""
+
+from __future__ import annotations
+
+from ..cfg.graph import CFG
+from ..cfg.liveness import liveness
+from ..isa.instruction import Instruction
+
+
+def _has_side_effects(ins: Instruction) -> bool:
+    if ins.is_store or ins.is_control or ins.info.is_call:
+        return True
+    if ins.op == "nop":
+        return False
+    return ins.dest is None
+
+
+def eliminate_dead_code(cfg: CFG, live_at_exit: set[str] | None = None) -> int:
+    """Remove dead instructions in place; returns how many were removed."""
+    removed_total = 0
+    changed = True
+    while changed:
+        changed = False
+        info = liveness(cfg, live_at_exit)
+        for bb in cfg.blocks:
+            live = set(info.live_out[bb.bid])
+            keep_rev: list[Instruction] = []
+            for ins in reversed(bb.instructions):
+                dead = (not _has_side_effects(ins)
+                        and ins.dest is not None
+                        and ins.dest not in live
+                        and not ins.is_guarded)  # guarded writes are partial
+                if dead and ins.op != "nop":
+                    removed_total += 1
+                    changed = True
+                    continue
+                if ins.op == "nop" and ins.guard is None:
+                    removed_total += 1
+                    changed = True
+                    continue
+                keep_rev.append(ins)
+                if not (ins.is_cmov or ins.is_guarded):
+                    live -= set(ins.defs())
+                live |= set(ins.uses())
+            bb.instructions = list(reversed(keep_rev))
+    return removed_total

@@ -1,0 +1,58 @@
+"""Forward substitution (paper Section 1, Figure 1(b)).
+
+"Forward substitution is a technique in which all subsequent uses of the
+destination register of the copy instruction are replaced by its source
+register.  This results in reduction of a true dependence between the copy
+instruction and any subsequent instruction."
+
+Operates within one basic block: given a copy ``mov rd, rs`` at position
+*i*, later reads of ``rd`` become reads of ``rs`` until either register is
+redefined.
+"""
+
+from __future__ import annotations
+
+from ..cfg.basic_block import BasicBlock
+from ..isa.instruction import Instruction
+
+
+def is_copy(ins: Instruction) -> bool:
+    """A plain unguarded register-to-register move."""
+    return ins.op == "mov" and ins.guard is None
+
+
+def forward_substitute_at(bb: BasicBlock, index: int) -> int:
+    """Forward-substitute through the copy at *index*; returns the number
+    of uses rewritten.  Raises ValueError if *index* is not a copy.
+    """
+    ins = bb.instructions[index]
+    if not is_copy(ins):
+        raise ValueError(f"instruction at {index} is not a copy: {ins}")
+    rd = ins.dest
+    rs = ins.srcs[0]
+    if rd is None or rd == rs:
+        return 0
+    rewritten = 0
+    for j in range(index + 1, len(bb.instructions)):
+        cur = bb.instructions[j]
+        if rd in cur.srcs:
+            bb.instructions[j] = cur.with_substituted_uses({rd: rs})
+            rewritten += 1
+        # Stop at any redefinition of either register (including partial
+        # writes — a guarded/cmov write of rd means later reads may see the
+        # copy's value, so substitution must stop).
+        cur = bb.instructions[j]
+        if rd in cur.defs() or rs in cur.defs():
+            break
+    return rewritten
+
+
+def forward_substitute_block(bb: BasicBlock) -> int:
+    """Forward-substitute through every copy in the block; returns the
+    total number of uses rewritten.  One pass front-to-back is enough to
+    chase copy chains (mov b,a; mov c,b -> uses of c become a)."""
+    total = 0
+    for i, ins in enumerate(bb.instructions):
+        if is_copy(ins):
+            total += forward_substitute_at(bb, i)
+    return total

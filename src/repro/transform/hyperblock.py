@@ -1,0 +1,126 @@
+"""Hyperblock-style region if-conversion (paper reference [6], Mahlke et
+al., MICRO-25).
+
+The paper's Section 2: "basic blocks with hard to predict frequencies are
+coalesced (or if converted) to form larger blocks (or hyperblocks)".  Our
+single-diamond converter (:func:`repro.transform.ifconvert.if_convert_diamond`)
+composes into exactly that when applied bottom-up to a fixpoint: converting
+an inner triangle straightens its parent's arm, which then becomes
+convertible itself, until a whole acyclic region has collapsed into one
+predicated block.
+
+:func:`form_hyperblocks` drives that iteration, optionally gated per
+diamond by the Figure 6 cost model so that only profitable regions
+coalesce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cfg.graph import CFG
+from ..profilefb.profiledb import ProfileDB
+from ..sched.machine_model import DEFAULT_MODEL, MachineModel
+from .ifconvert import find_diamond, if_convert_diamond
+
+
+@dataclass
+class HyperblockReport:
+    """Conversions performed by one :func:`form_hyperblocks` run."""
+
+    conversions: int = 0
+    rounds: int = 0
+    merged: int = 0
+    converted_heads: list[int] = field(default_factory=list)
+
+
+def merge_straightline_blocks(cfg: CFG) -> int:
+    """Fuse A -> B seams where A's only successor is B and B's only
+    predecessor is A (if-conversion leaves these behind).  Returns the
+    number of merges performed."""
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        for bb in list(cfg.blocks):
+            bid = bb.bid
+            if bid not in cfg._by_id:
+                continue
+            succs = cfg.succ_edges[bid]
+            if len(succs) != 1:
+                continue
+            nxt = succs[0].dst
+            if nxt == bid or nxt == cfg.entry.bid:
+                continue
+            if len(cfg.pred_edges[nxt]) != 1:
+                continue
+            term = bb.terminator
+            if term is not None and (term.is_branch or term.info.is_call
+                                     or term.op in ("jr", "jalr")):
+                continue
+            nb = cfg.block(nxt)
+            body = bb.instructions
+            if term is not None:  # a plain jump: drop it
+                body = body[:-1]
+            bb.instructions = body + nb.instructions
+            # Move nxt's outgoing edges to bb.
+            cfg.remove_edges_from(bid)
+            for e in list(cfg.succ_edges[nxt]):
+                cfg.succ_edges[nxt].remove(e)
+                e.src = bid
+                cfg.succ_edges[bid].append(e)
+            cfg.blocks.remove(nb)
+            del cfg._by_id[nxt]
+            del cfg.succ_edges[nxt]
+            cfg.pred_edges.pop(nxt, None)
+            merged += 1
+            changed = True
+            break
+    return merged
+
+
+def form_hyperblocks(cfg: CFG, profile: Optional[ProfileDB] = None,
+                     heur=None, model: MachineModel = DEFAULT_MODEL,
+                     max_rounds: int = 64) -> HyperblockReport:
+    """Iteratively if-convert every (profitable) diamond/triangle until no
+    more match.
+
+    Without *profile*, every structurally convertible region converts —
+    the pure Mahlke-style coalescing (useful before software pipelining,
+    where the paper notes prior if-conversion "reduces messy control flow,
+    makes the job of the cyclic scheduler much easier").  With *profile*
+    (and optionally *heur*), each head is gated by the same cost check the
+    Figure 6 algorithm uses, so well-predicted branches stay branches.
+    """
+    from ..core.algorithm import _ifconvert_cost_check
+    from ..core.heuristics import DEFAULT_HEURISTICS
+
+    heur = heur or DEFAULT_HEURISTICS
+    report = HyperblockReport()
+    for _ in range(max_rounds):
+        report.rounds += 1
+        changed = False
+        for bb in list(cfg.blocks):
+            if bb.bid not in cfg._by_id:
+                continue
+            if find_diamond(cfg, bb.bid) is None:
+                continue
+            if profile is not None:
+                term = bb.terminator
+                bp = profile.branch_of(term) if term is not None else None
+                misrate = None
+                if bp is not None and bp.executions:
+                    misrate = 1.0 - bp.history.prediction_accuracy_2bit()
+                ok, _gain = _ifconvert_cost_check(cfg, bb.bid, model, heur,
+                                                  misrate=misrate)
+                if not ok:
+                    continue
+            if if_convert_diamond(cfg, bb.bid) is not None:
+                report.conversions += 1
+                report.converted_heads.append(bb.bid)
+                changed = True
+        if not changed:
+            break
+    report.merged = merge_straightline_blocks(cfg)
+    return report

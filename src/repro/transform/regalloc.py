@@ -1,0 +1,156 @@
+"""Register compaction: liveness-based renumbering of integer registers.
+
+Why it exists (paper Section 3): guarded execution "necessitates the
+presence of additional registers" and "may force an added pressure on the
+limited general purpose integer and floating point register files"; the
+speculation pass needs "free registers (at that time)" to rename into.
+Compaction renumbers the integer registers a function actually uses so
+that interference — not the programmer's numbering — determines how many
+are occupied, replenishing the pools
+:func:`repro.transform.renaming.free_registers` hands to the transforms.
+
+The paper's conditional-lifetime problem ("a clear demarcation of the
+different live ranges ... can be [a] complicated task especially now that
+the register lifetimes are conditional") is handled the way the paper
+recommends: conservatively.  Guarded and conditional-move writes are
+partial, so our liveness keeps the old value live through them, which
+simply makes their ranges longer.
+
+Algorithm: per-instruction liveness (block live-out walked backward),
+interference edges from each def to everything live after it, then greedy
+coloring in first-appearance order with a preference for keeping a node's
+original register.  Reserved registers (r0, r29-r31) and condition-code /
+FP registers are never touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import CFG
+from ..cfg.liveness import liveness
+from ..isa.instruction import Instruction
+from ..isa.registers import INT_REGS, is_int_reg, reg_index
+from .renaming import RESERVED
+
+
+@dataclass
+class RegAllocReport:
+    """Result of one :func:`compact_registers` run."""
+
+    mapping: dict[str, str] = field(default_factory=dict)
+    registers_before: int = 0
+    registers_after: int = 0
+
+    @property
+    def freed(self) -> int:
+        return self.registers_before - self.registers_after
+
+
+def _remap_instruction(ins: Instruction, mapping: dict[str, str]) -> Instruction:
+    new_dest = mapping.get(ins.dest, ins.dest) if ins.dest else ins.dest
+    new_srcs = tuple(mapping.get(s, s) for s in ins.srcs)
+    if new_dest == ins.dest and new_srcs == ins.srcs:
+        return ins
+    return ins.clone(dest=new_dest, srcs=new_srcs)
+
+
+def build_interference(cfg: CFG) -> dict[str, set[str]]:
+    """Interference graph over the CFG's non-reserved integer registers.
+
+    Two registers interfere when one is defined while the other is live;
+    registers simultaneously live-in anywhere also interfere pairwise
+    (conservative for values flowing around loops).
+    """
+    info = liveness(cfg)
+    adj: dict[str, set[str]] = {}
+
+    def node(r: str) -> bool:
+        return is_int_reg(r) and r not in RESERVED
+
+    def connect(a: str, b: str) -> None:
+        if a != b and node(a) and node(b):
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set()).add(a)
+
+    for bb in cfg.blocks:
+        live = set(info.live_out[bb.bid])
+        for a in live:
+            for b in live:
+                connect(a, b)
+        for ins in reversed(bb.instructions):
+            for d in ins.defs():
+                if node(d):
+                    adj.setdefault(d, set())
+                for l in live:
+                    connect(d, l)
+            if not (ins.is_cmov or ins.is_guarded):
+                live -= set(ins.defs())
+            live |= set(ins.uses())
+            for r in ins.registers():
+                if node(r):
+                    adj.setdefault(r, set())
+        for a in info.live_in[bb.bid]:
+            for b in info.live_in[bb.bid]:
+                connect(a, b)
+    return adj
+
+
+def compact_registers(cfg: CFG) -> RegAllocReport:
+    """Renumber integer registers to the smallest interference-compatible
+    set, in place.  Returns the mapping applied.
+
+    Skips functions using calls or indirect jumps conservatively only in
+    the sense the liveness already does (everything live across them), so
+    compaction degrades gracefully rather than miscompiling.
+    """
+    adj = build_interference(cfg)
+    report = RegAllocReport(registers_before=len(adj))
+    if not adj:
+        return report
+
+    allowed = [r for r in INT_REGS if r not in RESERVED]
+    # First-appearance order keeps the mapping stable and readable.
+    order: list[str] = []
+    seen: set[str] = set()
+    for bb in cfg.blocks:
+        for ins in bb.instructions:
+            for r in ins.registers():
+                if r in adj and r not in seen:
+                    seen.add(r)
+                    order.append(r)
+    for r in adj:
+        if r not in seen:
+            order.append(r)
+
+    color: dict[str, str] = {}
+    for r in order:
+        taken = {color[n] for n in adj[r] if n in color}
+        # Lowest-index free register: disjoint live ranges collapse onto
+        # the same few names, freeing the rest for the rename pools.
+        color[r] = next(c for c in allowed if c not in taken)
+
+    mapping = {r: c for r, c in color.items() if r != c}
+    if mapping:
+        for bb in cfg.blocks:
+            bb.instructions = [_remap_instruction(ins, mapping)
+                               for ins in bb.instructions]
+    report.mapping = mapping
+    report.registers_after = len(set(color.values()))
+    return report
+
+
+def register_pressure(cfg: CFG) -> int:
+    """Maximum number of simultaneously-live integer registers — the
+    quantity guarded execution inflates (paper Section 3)."""
+    info = liveness(cfg)
+    peak = 0
+    for bb in cfg.blocks:
+        live = {r for r in info.live_out[bb.bid] if is_int_reg(r)}
+        peak = max(peak, len(live))
+        for ins in reversed(bb.instructions):
+            if not (ins.is_cmov or ins.is_guarded):
+                live -= set(ins.defs())
+            live |= {r for r in ins.uses() if is_int_reg(r)}
+            peak = max(peak, len(live))
+    return peak

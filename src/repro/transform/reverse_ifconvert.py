@@ -1,0 +1,134 @@
+"""Reverse if-conversion (paper reference [15], Warter et al., PLDI 1993).
+
+Converts guarded instructions back into explicit control flow.  The paper's
+Section 3 explains why this is needed: commercial processors "provide a
+limited predicated execution support", so the compiler's fully-predicated
+fictional operations "need to be expanded to their equivalent non-fully
+predicated versions sometime before the final code layout phase".
+
+:func:`lower_guards <repro.transform.ifconvert.lower_guards>` handles
+register-writing guarded ops via conditional moves but cannot lower guarded
+*stores*; reverse if-conversion handles everything by re-materializing a
+branch around each maximal run of same-guard instructions::
+
+    (cc)  op1            bcf cc, skip     ;  (!cc) runs use bct
+    (cc)  op2     ==>    op1
+                         op2
+                       skip:
+
+The transformation is the inverse of if-conversion, so `if_convert` then
+`reverse_if_convert` round-trips semantics (tested by differential tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import CFG
+from ..isa.instruction import Instruction, make
+
+
+@dataclass
+class ReverseIfConvertReport:
+    """What one pass did."""
+
+    runs_converted: int = 0
+    instructions_unguarded: int = 0
+    blocks_added: int = 0
+
+
+def _guard_runs(instructions: list[Instruction]) -> list[tuple[int, int]]:
+    """Maximal [start, end) runs of instructions sharing one guard."""
+    runs: list[tuple[int, int]] = []
+    i = 0
+    n = len(instructions)
+    while i < n:
+        g = instructions[i].guard
+        if g is None:
+            i += 1
+            continue
+        j = i + 1
+        while j < n and instructions[j].guard == g:
+            j += 1
+        runs.append((i, j))
+        i = j
+    return runs
+
+
+def reverse_if_convert(cfg: CFG) -> ReverseIfConvertReport:
+    """Replace every guarded instruction in the CFG with branch-around
+    control flow, in place.
+
+    Each maximal same-guard run becomes its own block, entered through a
+    conditional branch on the guard register (``bcf`` skips a
+    positive-sense run, ``bct`` skips a negative-sense one).  Works on
+    any guarded instruction, stores included.
+    """
+    report = ReverseIfConvertReport()
+    worklist = [bb.bid for bb in cfg.blocks]
+    for bid in worklist:
+        bb = cfg.block(bid)
+        runs = _guard_runs(bb.instructions)
+        if not runs:
+            continue
+        # Process the FIRST run; re-queue the block until clean (later
+        # runs end up in the tail block created here).
+        start, end = runs[0]
+        guard = bb.instructions[start].guard
+        assert guard is not None
+
+        body = [ins.clone(guard=None, fresh_uid=True)
+                for ins in bb.instructions[start:end]]
+        tail_instructions = bb.instructions[end:]
+        head_instructions = bb.instructions[:start]
+
+        # head: ... ; b<not guard> skip_label  -> falls into run block
+        # run block: body                      -> falls into tail block
+        # tail block: rest of original block (+ original terminator)
+        run_bb = cfg.new_block(after=bid)
+        tail_bb = cfg.new_block(after=run_bb.bid)
+        report.blocks_added += 2
+        run_bb.freq = bb.freq
+        tail_bb.freq = bb.freq
+
+        run_bb.instructions = body
+        tail_bb.instructions = tail_instructions
+
+        skip_op = "bcf" if guard.sense else "bct"
+        branch = make(skip_op, guard.reg, "_")
+        branch.ann["reverse_ifconvert"] = True
+        bb.instructions = head_instructions + [branch]
+
+        # Move bb's outgoing edges onto the tail block.
+        for e in list(cfg.succ_edges[bid]):
+            cfg.succ_edges[bid].remove(e)
+            e.src = tail_bb.bid
+            cfg.succ_edges[tail_bb.bid].append(e)
+        cfg.add_edge(bid, tail_bb.bid, "taken")   # guard false: skip run
+        cfg.add_edge(bid, run_bb.bid, "fall")
+        cfg.add_edge(run_bb.bid, tail_bb.bid, "fall")
+
+        report.runs_converted += 1
+        report.instructions_unguarded += len(body)
+        worklist.append(tail_bb.bid)  # it may hold further guarded runs
+    return report
+
+
+def fully_lower(cfg: CFG, prefer_cmov: bool = True) -> ReverseIfConvertReport:
+    """Lower all predication for a limited-predication target: conditional
+    moves where possible (cheap), reverse if-conversion for the rest
+    (guarded stores and anything the cmov lowering left behind)."""
+    from .ifconvert import lower_guards
+
+    if prefer_cmov:
+        # lower_guards refuses on guarded stores; strip those first by
+        # reverse-converting only blocks that contain them.
+        has_guarded_store = any(
+            ins.guard is not None and ins.is_store
+            for bb in cfg.blocks for ins in bb.instructions)
+        if has_guarded_store:
+            report = reverse_if_convert(cfg)
+            return report
+        lower_guards(cfg)
+        return ReverseIfConvertReport()
+    return reverse_if_convert(cfg)

@@ -1,0 +1,45 @@
+"""Synthetic benchmark programs standing in for the paper's SPEC/unix
+workloads (compress, espresso, xlisp, grep) — see DESIGN.md section 3 for
+the substitution rationale.  Each module carries a bit-exact Python
+reference implementation used by the test suite.
+"""
+
+from .common import AUX_BASE, OUT_BASE, SRC_BASE, lcg_next, lcg_stream
+from .compress import compress_program, compress_reference, compress_source
+from .espresso import espresso_program, espresso_reference, espresso_source
+from .xlisp import xlisp_program, xlisp_reference, xlisp_source
+from .grep import grep_program, grep_reference, grep_source
+from .synth import biased_loop_program, phased_loop_program
+
+#: The paper's benchmark suite, name -> default-scale program factory.
+BENCHMARKS = {
+    "compress": compress_program,
+    "espresso": espresso_program,
+    "xlisp": xlisp_program,
+    "grep": grep_program,
+}
+
+
+def benchmark_programs(scale: float = 1.0):
+    """Instantiate all four benchmarks, optionally scaled.
+
+    scale multiplies each benchmark's primary size parameter (input bytes,
+    cube count, VM iterations, text bytes).
+    """
+    return {
+        "compress": compress_program(n=max(64, int(4000 * scale))),
+        "espresso": espresso_program(m=max(16, int(120 * scale))),
+        "xlisp": xlisp_program(k=max(8, int(600 * scale))),
+        "grep": grep_program(n=max(64, int(6000 * scale))),
+    }
+
+
+__all__ = [
+    "AUX_BASE", "OUT_BASE", "SRC_BASE", "lcg_next", "lcg_stream",
+    "compress_program", "compress_reference", "compress_source",
+    "espresso_program", "espresso_reference", "espresso_source",
+    "xlisp_program", "xlisp_reference", "xlisp_source",
+    "grep_program", "grep_reference", "grep_source",
+    "biased_loop_program", "phased_loop_program",
+    "BENCHMARKS", "benchmark_programs",
+]

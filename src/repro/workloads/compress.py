@@ -1,0 +1,179 @@
+"""compress — run-length compressor with phase-structured input.
+
+Models the paper's `compress` benchmark: "several nested branches with
+minimal code interspersed between them".  The program
+
+1. generates *n* input bytes with an LCG, in three phases — highly
+   compressible (long zero runs), incompressible (random nibbles), then
+   compressible again — giving the inner match branch the phased behavior
+   the split-branch transform targets;
+2. RLE-compresses the buffer (escape byte 255 for runs >= 4);
+3. checksums the output into ``r17`` (and memory at AUX_BASE).
+
+:func:`compress_reference` is the bit-exact Python model used by tests.
+"""
+
+from __future__ import annotations
+
+from ..isa.parser import parse
+from ..isa.program import Program
+from .common import AUX_BASE, MASK32, OUT_BASE, SRC_BASE, lcg_asm, lcg_next
+
+ESCAPE = 255
+MIN_RUN = 4
+MAX_RUN = 255
+
+
+def compress_source(n: int = 4000, seed: int = 12345) -> str:
+    """Assembly text of the compress kernel for *n* input bytes."""
+    n1, n2 = (2 * n) // 5, (3 * n) // 5
+    return f"""
+# compress: phase-structured RLE kernel (n={n})
+.text
+main:
+    li   r1, {SRC_BASE}      # src base
+    li   r2, {n}             # n
+    li   r8, {n1}            # phase boundary 1
+    li   r9, {n2}            # phase boundary 2
+    li   r3, 0               # i
+    li   r4, {seed}          # lcg state
+gen:
+{lcg_asm('r4')}
+    srl  r5, r4, 16
+    slt  r6, r3, r8
+    bnez r6, gen_runny       # i < n1: compressible phase
+    slt  r6, r3, r9
+    bnez r6, gen_random      # n1 <= i < n2: random phase
+gen_runny:
+    andi r5, r5, 7
+    seq  r5, r5, r0          # 1 in 8 bytes is a 1; runs of 0 otherwise
+    j    gen_store
+gen_random:
+    andi r5, r5, 15
+gen_store:
+    add  r7, r1, r3
+    sb   r5, 0(r7)
+    addi r3, r3, 1
+    bne  r3, r2, gen
+
+    # ---- RLE compression ----
+    li   r10, {OUT_BASE}     # out base
+    li   r11, 0              # out pos
+    li   r3, 0               # i
+comp:
+    slt  r5, r3, r2
+    beqz r5, comp_done
+    add  r7, r1, r3
+    lbu  r13, 0(r7)          # c = src[i]
+    li   r12, 1              # run = 1
+run_scan:
+    add  r14, r3, r12
+    slt  r5, r14, r2
+    beqz r5, run_done        # off the end
+    add  r7, r1, r14
+    lbu  r14, 0(r7)
+    bne  r14, r13, run_done  # phased: rarely taken in runny phases
+    addi r12, r12, 1
+    slti r5, r12, {MAX_RUN}
+    bnez r5, run_scan
+run_done:
+    slti r5, r12, {MIN_RUN}
+    bnez r5, literal
+    # emit escape triple (255, c, run)
+    add  r7, r10, r11
+    li   r14, {ESCAPE}
+    sb   r14, 0(r7)
+    sb   r13, 1(r7)
+    sb   r12, 2(r7)
+    addi r11, r11, 3
+    j    advance
+literal:
+    li   r15, 0
+lit_loop:
+    add  r7, r10, r11
+    sb   r13, 0(r7)
+    addi r11, r11, 1
+    addi r15, r15, 1
+    bne  r15, r12, lit_loop
+advance:
+    # max-run tracking: a data-dependent triangle (taken less and less
+    # often as the maximum settles — an irregular-early branch).
+    slt  r5, r16, r12
+    beqz r5, no_newmax
+    mov  r16, r12            # r16 = max run seen
+no_newmax:
+    add  r3, r3, r12
+    j    comp
+comp_done:
+
+    # ---- checksum the output (parity-weighted: an irregular diamond) ----
+    li   r17, 0              # checksum
+    li   r3, 0
+    beqz r11, store_sum
+sum_loop:
+    add  r7, r10, r3
+    lbu  r5, 0(r7)
+    muli r17, r17, 31
+    andi r6, r5, 1
+    beqz r6, sum_even        # data-dependent: irregular in random phase
+    muli r5, r5, 3
+    add  r17, r17, r5
+    j    sum_next
+sum_even:
+    sub  r17, r17, r5
+sum_next:
+    addi r3, r3, 1
+    bne  r3, r11, sum_loop
+store_sum:
+    li   r7, {AUX_BASE}
+    sw   r17, 0(r7)
+    sw   r11, 4(r7)          # compressed length in r11
+    sw   r16, 8(r7)          # maximum run length
+    halt
+"""
+
+
+def compress_program(n: int = 4000, seed: int = 12345) -> Program:
+    """Parsed, validated compress kernel."""
+    prog = parse(compress_source(n, seed), name="compress")
+    return prog
+
+
+def compress_reference(n: int = 4000,
+                       seed: int = 12345) -> tuple[int, int, int]:
+    """Bit-exact Python model; returns (checksum, compressed_length,
+    max_run)."""
+    n1, n2 = (2 * n) // 5, (3 * n) // 5
+    src = []
+    x = seed
+    for i in range(n):
+        x = lcg_next(x)
+        v = (x >> 16) & MASK32
+        if i < n1 or i >= n2:
+            src.append(1 if (v & 7) == 0 else 0)
+        else:
+            src.append(v & 15)
+
+    out: list[int] = []
+    i = 0
+    max_run = 0
+    while i < n:
+        c = src[i]
+        run = 1
+        while i + run < n and src[i + run] == c and run < MAX_RUN:
+            run += 1
+        if run >= MIN_RUN:
+            out.extend((ESCAPE, c, run))
+        else:
+            out.extend([c] * run)
+        max_run = max(max_run, run)
+        i += run
+
+    checksum = 0
+    for b in out:
+        checksum = (checksum * 31) & MASK32
+        if b & 1:
+            checksum = (checksum + 3 * b) & MASK32
+        else:
+            checksum = (checksum - b) & MASK32
+    return checksum, len(out), max_run

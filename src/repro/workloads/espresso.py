@@ -1,0 +1,187 @@
+"""espresso — unate-cover minimization kernel.
+
+Models the paper's `espresso` benchmark: two-level logic minimization
+dominated by cube-containment tests.  The program
+
+1. generates *m* cubes (24-bit literal masks) with an LCG; every fourth
+   cube is derived from its predecessor by OR-ing extra literals, seeding
+   genuine containment relations;
+2. runs the O(m^2) single-cube containment sweep (``a & b == a`` means
+   cube *a* is contained in cube *b*; the covered cube is deleted);
+3. counts surviving cubes and sums their literal counts with a bit loop
+   (exercising the shifter);
+4. checksums survivors into ``r17``.
+
+:func:`espresso_reference` is the bit-exact Python model used by tests.
+"""
+
+from __future__ import annotations
+
+from ..isa.parser import parse
+from ..isa.program import Program
+from .common import AUX_BASE, MASK32, SRC_BASE, lcg_asm, lcg_next
+
+CUBE_MASK = 0xFFFFFF
+
+
+def espresso_source(m: int = 120, seed: int = 99991) -> str:
+    """Assembly text of the espresso kernel over *m* cubes."""
+    return f"""
+# espresso: unate-cover containment sweep (m={m})
+.text
+main:
+    li   r1, {SRC_BASE}      # cube array base
+    li   r2, {m}             # m
+    li   r4, {seed}          # lcg state
+    li   r3, 0               # i
+    li   r13, 0              # previous cube
+gen:
+{lcg_asm('r4')}
+    andi r5, r4, {CUBE_MASK}
+    srl  r6, r4, 24
+    andi r6, r6, 3
+    bnez r6, gen_store       # 3 of 4 cubes: fresh mask
+    or   r5, r13, r5         # derived cube: contains its predecessor
+gen_store:
+    mov  r13, r5
+    sll  r7, r3, 2
+    add  r7, r1, r7
+    sw   r5, 0(r7)
+    addi r3, r3, 1
+    bne  r3, r2, gen
+
+    # ---- containment sweep: delete cube j if some cube i (i != j) is
+    # contained in it (a & b == a with a != b) ----
+    li   r3, 0               # i
+outer:
+    sll  r7, r3, 2
+    add  r7, r1, r7
+    lw   r10, 0(r7)          # a = cube[i]
+    beqz r10, outer_next     # deleted
+    addi r11, r3, 1          # j = i + 1
+inner:
+    slt  r5, r11, r2
+    beqz r5, outer_next
+    sll  r7, r11, 2
+    add  r7, r1, r7
+    lw   r12, 0(r7)          # b = cube[j]
+    beqz r12, inner_next     # deleted
+    # pair-distance statistic: a data-dependent irregular diamond
+    xor  r14, r10, r12
+    andi r14, r14, 1
+    beqz r14, pair_even
+    addi r18, r18, 1
+    j    pair_done
+pair_even:
+    addi r19, r19, 1
+pair_done:
+    and  r14, r10, r12
+    bne  r14, r10, chk_rev   # a not within b
+    beq  r10, r12, chk_rev   # equal cubes: keep one direction only below
+    sw   r0, 0(r7)           # delete b (a covers it is wrong way: b redundant)
+    j    inner_next
+chk_rev:
+    bne  r14, r12, inner_next
+    beq  r10, r12, dup_del   # exact duplicate: delete the later one
+    # b contained in a: delete a, restart not needed (a gone)
+    sll  r7, r3, 2
+    add  r7, r1, r7
+    sw   r0, 0(r7)
+    j    outer_next
+dup_del:
+    sw   r0, 0(r7)
+    j    inner_next
+inner_next:
+    addi r11, r11, 1
+    j    inner
+outer_next:
+    addi r3, r3, 1
+    bne  r3, r2, outer
+
+    # ---- survivors: count, literal popcount, checksum ----
+    li   r15, 0              # survivor count
+    li   r16, 0              # literal total
+    li   r17, 0              # checksum
+    li   r3, 0
+tally:
+    sll  r7, r3, 2
+    add  r7, r1, r7
+    lw   r10, 0(r7)
+    beqz r10, tally_next
+    addi r15, r15, 1
+    muli r17, r17, 31
+    add  r17, r17, r10
+pop:
+    andi r5, r10, 1
+    add  r16, r16, r5
+    srl  r10, r10, 1
+    bnez r10, pop
+tally_next:
+    addi r3, r3, 1
+    bne  r3, r2, tally
+
+    li   r7, {AUX_BASE}
+    sw   r17, 0(r7)
+    sw   r15, 4(r7)
+    sw   r16, 8(r7)
+    sw   r18, 12(r7)
+    sw   r19, 16(r7)
+    halt
+"""
+
+
+def espresso_program(m: int = 120, seed: int = 99991) -> Program:
+    """Parsed, validated espresso kernel."""
+    return parse(espresso_source(m, seed), name="espresso")
+
+
+def espresso_reference(m: int = 120, seed: int = 99991,
+                       ) -> tuple[int, int, int, int, int]:
+    """Python model; returns (checksum, survivors, literal_total,
+    odd_pairs, even_pairs)."""
+    cubes: list[int] = []
+    x = seed
+    prev = 0
+    for _ in range(m):
+        x = lcg_next(x)
+        v = x & CUBE_MASK
+        if ((x >> 24) & 3) == 0:
+            v = (prev | v) & MASK32
+        prev = v
+        cubes.append(v)
+
+    odd_pairs = even_pairs = 0
+    for i in range(m):
+        a = cubes[i]
+        if a == 0:
+            continue
+        j = i + 1
+        while j < m:
+            b = cubes[j]
+            if b == 0:
+                j += 1
+                continue
+            if (a ^ b) & 1:
+                odd_pairs += 1
+            else:
+                even_pairs += 1
+            meet = a & b
+            if meet == a and a != b:
+                cubes[j] = 0
+                j += 1
+                continue
+            if meet == b and a != b:
+                cubes[i] = 0
+                break
+            if a == b:
+                cubes[j] = 0
+            j += 1
+
+    checksum = survivors = literals = 0
+    for v in cubes:
+        if v == 0:
+            continue
+        survivors += 1
+        checksum = (checksum * 31 + v) & MASK32
+        literals += bin(v).count("1")
+    return checksum, survivors, literals, odd_pairs, even_pairs

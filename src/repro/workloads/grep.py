@@ -1,0 +1,188 @@
+"""grep — naive string search with clustered matches.
+
+Models the paper's `grep` benchmark: a scan loop dominated by a
+highly-biased first-character test, with an inner verification loop.  The
+first 40 % of the text draws from 'a'..'p' (never the needle's first byte
+'q'); the rest draws from 'n'..'q' and receives the injected needle copies,
+so the first-character branch is **phased**: always taken (no match) in the
+first segment of the scan, taken about 3/4 of the time afterwards — phase
+structure aligned with the scan loop's iteration space.
+
+Results: ``r17`` = match count, ``r16`` = text checksum.
+
+:func:`grep_reference` is the bit-exact Python model used by tests.
+"""
+
+from __future__ import annotations
+
+from ..isa.parser import parse
+from ..isa.program import Program
+from .common import AUX_BASE, MASK32, SRC_BASE, lcg_asm, lcg_next
+
+#: The needle: "qrst".  Generated text uses 'a'..'p' only.
+PAT = (0x71, 0x72, 0x73, 0x74)
+
+
+def grep_source(n: int = 6000, injections: int = 40,
+                seed: int = 777777) -> str:
+    """Assembly text of the grep kernel over *n* text bytes."""
+    n1 = (2 * n) // 5  # injections land in [n1, n-4)
+    span = n - 4 - n1
+    return f"""
+# grep: naive search with clustered matches (n={n}, inj={injections})
+.text
+main:
+    li   r1, {SRC_BASE}      # text base
+    li   r2, {n}             # n
+    li   r4, {seed}          # lcg state
+    li   r3, 0               # i
+    li   r9, {n1}            # region boundary
+gen:
+{lcg_asm('r4')}
+    srl  r5, r4, 16
+    slt  r6, r3, r9
+    beqz r6, gen_tail
+    andi r5, r5, 15
+    addi r5, r5, 0x61        # head region: 'a'..'p' (never 'q')
+    j    gen_store
+gen_tail:
+    andi r5, r5, 3
+    addi r5, r5, 0x6e        # tail region: 'n'..'q' (1 in 4 is 'q')
+gen_store:
+    add  r7, r1, r3
+    sb   r5, 0(r7)
+    addi r3, r3, 1
+    bne  r3, r2, gen
+
+    # ---- inject pattern copies into the final region ----
+    li   r3, 0
+    li   r8, {injections}
+inject:
+{lcg_asm('r4')}
+    srl  r5, r4, 8
+    li   r6, {span}
+    rem  r5, r5, r6
+    addi r5, r5, {n1}        # pos in [n1, n-4)
+    add  r7, r1, r5
+    li   r6, {PAT[0]}
+    sb   r6, 0(r7)
+    li   r6, {PAT[1]}
+    sb   r6, 1(r7)
+    li   r6, {PAT[2]}
+    sb   r6, 2(r7)
+    li   r6, {PAT[3]}
+    sb   r6, 3(r7)
+    addi r3, r3, 1
+    bne  r3, r8, inject
+
+    # ---- scan ----
+    li   r17, 0              # match count
+    li   r3, 0               # i
+    li   r9, {n - 3}         # scan limit
+    li   r10, {PAT[0]}
+    li   r18, 0              # chars in class [a-o]
+    li   r19, 0              # chars above 'o'
+    li   r8, 0x6f            # 'o'
+scan:
+    add  r7, r1, r3
+    lbu  r5, 0(r7)
+    # character-class accounting: biased in the head region, a coin flip
+    # in the tail — an irregular diamond executed every scan iteration
+    slt  r6, r8, r5
+    bnez r6, class_high
+    addi r18, r18, 1
+    j    class_done
+class_high:
+    addi r19, r19, 1
+class_done:
+    bne  r5, r10, scan_next  # phased: always taken for i < n1
+    lbu  r5, 1(r7)
+    li   r6, {PAT[1]}
+    bne  r5, r6, scan_next
+    lbu  r5, 2(r7)
+    li   r6, {PAT[2]}
+    bne  r5, r6, scan_next
+    lbu  r5, 3(r7)
+    li   r6, {PAT[3]}
+    bne  r5, r6, scan_next
+    addi r17, r17, 1
+scan_next:
+    addi r3, r3, 1
+    bne  r3, r9, scan
+
+    # ---- checksum + low/high histogram (irregular, then biased: the
+    # branch behavior flips with the text's region structure) ----
+    li   r16, 0
+    li   r3, 0
+    li   r12, 0              # low-half count
+    li   r13, 0              # high-half count
+    li   r14, 0x68           # 'h'
+sum:
+    add  r7, r1, r3
+    lbu  r5, 0(r7)
+    muli r16, r16, 31
+    add  r16, r16, r5
+    slt  r6, r14, r5
+    bnez r6, hist_high       # c > 'h': 50/50 in head, ~always in tail
+    addi r12, r12, 1
+    j    hist_done
+hist_high:
+    addi r13, r13, 1
+hist_done:
+    addi r3, r3, 1
+    bne  r3, r2, sum
+
+    li   r7, {AUX_BASE}
+    sw   r17, 0(r7)
+    sw   r16, 4(r7)
+    sw   r12, 8(r7)
+    sw   r13, 12(r7)
+    sw   r18, 16(r7)
+    sw   r19, 20(r7)
+    halt
+"""
+
+
+def grep_program(n: int = 6000, injections: int = 40,
+                 seed: int = 777777) -> Program:
+    """Parsed, validated grep kernel."""
+    return parse(grep_source(n, injections, seed), name="grep")
+
+
+def grep_reference(n: int = 6000, injections: int = 40,
+                   seed: int = 777777) -> tuple[int, int, int, int, int, int]:
+    """Python model; returns (match_count, text_checksum, low_count,
+    high_count, class_lo, class_hi)."""
+    n1 = (2 * n) // 5
+    span = n - 4 - n1
+    text = bytearray(n)
+    x = seed
+    for i in range(n):
+        x = lcg_next(x)
+        if i < n1:
+            text[i] = 0x61 + ((x >> 16) & 15)
+        else:
+            text[i] = 0x6E + ((x >> 16) & 3)
+    for _ in range(injections):
+        x = lcg_next(x)
+        # `rem` is signed in the ISA; (x >> 8) keeps the value positive.
+        pos = n1 + ((x >> 8) % span)
+        text[pos:pos + 4] = bytes(PAT)
+
+    matches = class_lo = class_hi = 0
+    for i in range(n - 3):
+        if text[i] > 0x6F:
+            class_hi += 1
+        else:
+            class_lo += 1
+        if tuple(text[i:i + 4]) == PAT:
+            matches += 1
+
+    checksum = low = high = 0
+    for b in text:
+        checksum = (checksum * 31 + b) & MASK32
+        if b > 0x68:
+            high += 1
+        else:
+            low += 1
+    return matches, checksum, low, high, class_lo, class_hi

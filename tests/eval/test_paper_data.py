@@ -1,0 +1,47 @@
+"""Paper-data tables and shape verdicts."""
+
+import pytest
+
+from repro.eval import (
+    PAPER_TABLE1, PAPER_TABLE3_BR, PAPER_TABLE4_IPC, format_shape_verdicts,
+    run_suite, shape_verdicts,
+)
+
+
+def test_paper_tables_complete():
+    benches = {"compress", "espresso", "xlisp", "grep"}
+    assert set(PAPER_TABLE1) == benches
+    assert set(PAPER_TABLE3_BR) == benches
+    assert set(PAPER_TABLE4_IPC) == benches
+
+
+def test_paper_ipc_ordering_internally_consistent():
+    # The paper's own numbers satisfy the ordering we assert on ours.
+    for name, row in PAPER_TABLE4_IPC.items():
+        assert row["2bitBP"] < row["Proposed"] <= row["PerfectBP"], name
+
+
+def test_paper_br_ordering():
+    for name, row in PAPER_TABLE3_BR.items():
+        assert row["2bitBP"] < row["Proposed"] < row["PerfectBP"], name
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_suite(scale=0.15)
+
+
+def test_shape_verdicts(runs):
+    verdicts = shape_verdicts(runs)
+    assert len(verdicts) == 4
+    for v in verdicts:
+        assert v["ipc_ordering_matches"], v["benchmark"]
+        assert v["paper_ipc_ordering"]
+        assert v["improvement_measured"] > 0.99
+        assert 1.5 <= v["improvement_paper"] <= 2.1
+
+
+def test_format_shape_verdicts(runs):
+    text = format_shape_verdicts(runs)
+    assert "MISMATCH" not in text
+    assert "compress" in text

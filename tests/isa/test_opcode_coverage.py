@@ -1,0 +1,113 @@
+"""Exhaustive opcode coverage: every opcode constructs, prints, re-parses
+and (where side-effect-free) executes."""
+
+import pytest
+
+from repro.isa import (
+    Fmt, Guard, OPCODES, format_instruction, make, opinfo, parse,
+)
+
+#: Sample operands per format (label targets resolved in a tiny program).
+_SAMPLE = {
+    Fmt.RRR: ("r1", "r2", "r3"),
+    Fmt.RRI: ("r1", "r2", 4),
+    Fmt.RI: ("r1", 7),
+    Fmt.RR: ("r1", "r2"),
+    Fmt.LOAD: ("r1", 8, "r2"),
+    Fmt.STORE: ("r1", 8, "r2"),
+    Fmt.BRANCH2: ("r1", "r2", "LBL"),
+    Fmt.BRANCH1: ("r1", "LBL"),
+    Fmt.JUMP: ("LBL",),
+    Fmt.JR: ("r1",),
+    Fmt.JALR: ("r1", "r2"),
+    Fmt.CMP: ("cc0", "r1", "r2"),
+    Fmt.CCLOGIC2: ("cc0", "cc1", "cc2"),
+    Fmt.CCLOGIC1: ("cc0", "cc1"),
+    Fmt.CMOVCC: ("r1", "r2", "cc0"),
+    Fmt.CMOVR: ("r1", "r2", "r3"),
+    Fmt.NONE: (),
+}
+
+
+def _operands(name):
+    fmt = opinfo(name).fmt
+    ops = _SAMPLE[fmt]
+    if name in ("bct", "bcf", "bctl", "bcfl"):
+        return ("cc1", "LBL")
+    if name == "cmpi":
+        return ("cc0", "r1", 5)
+    if name.startswith("f") or name in ("cvtif", "cvtfi", "lwf", "swf"):
+        # FP register operands where the format implies them.
+        sub = {"r1": "f1", "r2": "f2", "r3": "f3"}
+        if name == "cvtif":
+            return ("f1", "r2")
+        if name == "cvtfi":
+            return ("r1", "f2")
+        if name in ("lwf",):
+            return ("f1", 8, "r2")
+        if name in ("swf",):
+            return ("f1", 8, "r2")
+        if fmt == Fmt.CMP:
+            return ("cc0", "f1", "f2")
+        return tuple(sub.get(o, o) for o in ops)
+    return ops
+
+
+@pytest.mark.parametrize("name", sorted(OPCODES))
+def test_make_and_roundtrip(name):
+    ins = make(name, *_operands(name))
+    text = format_instruction(ins)
+    src = f".text\nLBL:\nnop\n    {text}\nhalt\n"
+    prog = parse(src)
+    back = prog.instructions[1]
+    assert back.op == ins.op
+    assert back.dest == ins.dest
+    assert back.srcs == ins.srcs
+    assert back.imm == ins.imm
+    assert back.target == ins.target
+
+
+@pytest.mark.parametrize("name", sorted(OPCODES))
+def test_guarded_roundtrip(name):
+    if name == "halt":
+        pytest.skip("guarded halt is not meaningful")
+    ins = make(name, *_operands(name), guard=Guard("cc3", False))
+    text = format_instruction(ins)
+    assert text.startswith("(!cc3)")
+    prog = parse(f".text\nLBL:\nnop\n    {text}\nhalt\n")
+    assert prog.instructions[1].guard == Guard("cc3", False)
+
+
+@pytest.mark.parametrize("name", sorted(OPCODES))
+def test_defs_uses_well_formed(name):
+    ins = make(name, *_operands(name))
+    for r in ins.defs():
+        assert r[0] in "rfc"
+    for r in ins.uses():
+        assert r[0] in "rfc"
+    info = opinfo(name)
+    if info.is_store:
+        assert ins.defs() == ()
+    if info.is_branch:
+        assert ins.target is not None
+
+
+@pytest.mark.parametrize("name", sorted(OPCODES))
+def test_every_opcode_executes(name):
+    """Each opcode runs in the functional simulator without error."""
+    from repro.sim import FunctionalSim
+
+    ins = make(name, *_operands(name))
+    # Build a context: define the label, give registers benign values.
+    body = format_instruction(ins)
+    src = (".text\n"
+           "    li r1, 8\n    li r2, 4\n    li r3, 2\n"
+           "    j GO\nLBL:\n    halt\nGO:\n"
+           f"    {body}\n"
+           "LAST:\n    halt\n")
+    if name in ("jr", "jalr"):
+        src = src.replace("li r1, 8", "li r1, 4")  # jump to LBL's halt
+    prog = parse(src)
+    sim = FunctionalSim(prog, max_steps=100)
+    sim.run()
+    assert sim.stats.halted

@@ -1,0 +1,46 @@
+"""Parser robustness: arbitrary input either parses or raises ParseError /
+ValueError — never any other exception."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import ParseError, format_program, parse
+
+# Token soup built from plausible assembly fragments.
+_tokens = st.sampled_from([
+    "add", "lw", "sw", "beq", "bne", "halt", "nop", "j", "jal", "li",
+    "r1", "r2", "r31", "r99", "f1", "cc0", "cc9", "label", "label:",
+    ".text", ".data", ".word", ".byte", ".asciiz", '"str"', "0x10", "-5",
+    "(cc1)", "(!cc0)", ",", "4(r2)", "(", ")", "#comment", "&label", "'a'",
+])
+
+
+@given(st.lists(st.lists(_tokens, min_size=0, max_size=6), max_size=12))
+@settings(max_examples=200, deadline=None)
+def test_token_soup_never_crashes(lines):
+    text = "\n".join(" ".join(line) for line in lines)
+    try:
+        parse(text)
+    except (ParseError, ValueError, KeyError):
+        pass  # rejection is fine; any other exception is a bug
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse(text)
+    except (ParseError, ValueError, KeyError):
+        pass
+
+
+@given(st.lists(st.sampled_from([
+    "li r1, 1", "li r2, 2", "add r3, r1, r2", "sub r4, r3, r1",
+    "mul r5, r4, r4", "sll r6, r5, 2", "nop",
+]), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_valid_programs_roundtrip(ops):
+    text = ".text\n" + "\n".join(ops) + "\nhalt\n"
+    prog = parse(text)
+    again = parse(format_program(prog))
+    assert [i.op for i in again] == [i.op for i in prog]

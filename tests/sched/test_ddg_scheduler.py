@@ -1,0 +1,196 @@
+"""Dependence graph + list scheduler tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import make, parse
+from repro.sched.ddg import build_ddg
+from repro.sched.list_scheduler import (
+    list_schedule, reorder_block, schedule_length,
+)
+from repro.sched.machine_model import DEFAULT_MODEL, MachineModel
+from repro.cfg import build_cfg
+from repro.sim import final_state
+
+
+def instrs(src):
+    return list(parse(".text\n" + src + "\nhalt\n"))[:-1]
+
+
+# ---- DDG ---------------------------------------------------------------------
+
+def test_true_dependence():
+    seq = instrs("li r1, 1\nadd r2, r1, r1")
+    ddg = build_ddg(seq)
+    kinds = {(e.src, e.dst): e.kind for e in ddg.edges}
+    assert kinds[(0, 1)] == "true"
+
+
+def test_anti_dependence():
+    seq = instrs("add r2, r1, r1\nli r1, 5")
+    ddg = build_ddg(seq)
+    kinds = {(e.src, e.dst): e.kind for e in ddg.edges}
+    assert kinds[(0, 1)] == "anti"
+
+
+def test_output_dependence():
+    seq = instrs("li r1, 1\nli r1, 2")
+    ddg = build_ddg(seq)
+    kinds = {(e.src, e.dst): e.kind for e in ddg.edges}
+    assert kinds[(0, 1)] == "output"
+
+
+def test_independent_ops_have_no_edge():
+    seq = instrs("li r1, 1\nli r2, 2")
+    ddg = build_ddg(seq)
+    assert not ddg.edges
+
+
+def test_memory_ordering():
+    seq = instrs("sw r1, 0(r2)\nlw r3, 0(r2)\nsw r4, 4(r2)")
+    ddg = build_ddg(seq)
+    pairs = {(e.src, e.dst) for e in ddg.edges if e.kind == "mem"}
+    assert (0, 1) in pairs  # store -> load
+    assert (0, 2) in pairs  # store -> store
+    assert (1, 2) in pairs  # load -> store
+
+
+def test_loads_reorder_freely():
+    seq = instrs("lw r1, 0(r4)\nlw r2, 4(r4)")
+    ddg = build_ddg(seq)
+    assert not [e for e in ddg.edges if e.kind == "mem"]
+
+
+def test_guard_is_dependence():
+    seq = list(parse(
+        ".text\ncmpeq cc0, r1, r2\n(cc0) add r3, r4, r5\nhalt\n"))[:-1]
+    ddg = build_ddg(seq)
+    kinds = {(e.src, e.dst): e.kind for e in ddg.edges}
+    assert kinds[(0, 1)] == "true"
+
+
+def test_heights():
+    # li -> add -> add chain: heights 3, 2, 1 with unit latencies.
+    seq = instrs("li r1, 1\nadd r2, r1, r1\nadd r3, r2, r2")
+    ddg = build_ddg(seq)
+    assert ddg.critical_path_heights(DEFAULT_MODEL) == [3, 2, 1]
+
+
+def test_topological_order():
+    seq = instrs("li r1, 1\nadd r2, r1, r1\nli r3, 9")
+    ddg = build_ddg(seq)
+    order = ddg.topological_order()
+    assert order.index(0) < order.index(1)
+
+
+# ---- list scheduler ---------------------------------------------------------------
+
+def test_chain_schedules_serially():
+    seq = instrs("li r1, 1\nadd r2, r1, r1\nadd r3, r2, r2")
+    s = list_schedule(seq)
+    assert s.start[0] < s.start[1] < s.start[2]
+    assert s.length == 3
+
+
+def test_parallel_ops_share_cycle():
+    seq = instrs("li r1, 1\nli r2, 2")
+    s = list_schedule(seq)
+    assert s.start[0] == s.start[1] == 0
+    assert s.length == 1
+
+
+def test_issue_width_respected():
+    seq = instrs("\n".join(f"li r{i}, {i}" for i in range(1, 9)))
+    s = list_schedule(seq)
+    for ops in s.cycles:
+        assert len(ops) <= DEFAULT_MODEL.issue_width
+
+
+def test_unit_slots_respected():
+    # Three independent loads, one mem unit: three separate cycles.
+    seq = instrs("lw r1, 0(r9)\nlw r2, 4(r9)\nlw r3, 8(r9)")
+    s = list_schedule(seq)
+    starts = sorted(s.start.values())
+    assert starts == [0, 1, 2]
+
+
+def test_latency_respected():
+    # Load (latency 2) feeding an add: add starts at cycle 2.
+    seq = instrs("lw r1, 0(r9)\nadd r2, r1, r1")
+    s = list_schedule(seq)
+    assert s.start[1] - s.start[0] >= 2
+
+
+def test_terminator_scheduled_last():
+    seq = list(parse(".text\nL:\nli r1, 1\nli r2, 2\nli r3, 3\nli r4, 4\n"
+                     "li r5, 5\nbne r1, r2, L\nhalt\n"))[:-1]
+    s = list_schedule(seq)
+    br = len(seq) - 1
+    assert all(s.start[i] <= s.start[br] for i in range(br))
+    # Branch cannot issue before the last body cycle.
+    assert s.start[br] == max(s.start.values())
+
+
+def test_vacant_slots():
+    seq = instrs("lw r1, 0(r9)\nadd r2, r1, r1")
+    s = list_schedule(seq)
+    # 3 issue cycles x width 4 - 2 ops = 10.
+    assert s.vacant_slots() == len(s.cycles) * 4 - 2
+
+
+def test_schedule_length_helper():
+    assert schedule_length(instrs("li r1, 1")) == 1
+
+
+def test_reorder_block_preserves_semantics():
+    src = """
+.text
+    li r1, 3
+    li r2, 4
+    add r3, r1, r2
+    mul r4, r3, r1
+    sub r5, r4, r2
+    halt
+"""
+    prog = parse(src)
+    before = final_state(prog)
+    cfg = build_cfg(prog)
+    for bb in cfg.blocks:
+        reorder_block(bb)
+    prog2 = cfg.to_program()
+    after = final_state(prog2)
+    assert before.regs == after.regs
+
+
+def test_reorder_keeps_terminator_last():
+    src = """
+.text
+L:
+    lw r1, 0(r9)
+    add r2, r1, r1
+    addi r9, r9, 4
+    bne r2, r3, L
+    halt
+"""
+    cfg = build_cfg(src)
+    bb = next(b for b in cfg.blocks if b.label == "L")
+    reorder_block(bb)
+    assert bb.instructions[-1].op == "bne"
+
+
+@given(st.lists(st.sampled_from([
+    ("li", "r1", 1), ("li", "r2", 2), ("add", "r3", "r1", "r2"),
+    ("add", "r1", "r2", "r3"), ("mul", "r4", "r1", "r1"),
+    ("lw", "r5", 0, "r6"), ("sw", "r5", 0, "r6"), ("sll", "r7", "r1", 2),
+]), min_size=1, max_size=24))
+@settings(max_examples=60)
+def test_schedule_respects_all_deps_property(ops):
+    seq = [make(*o) for o in ops]
+    ddg = build_ddg(seq)
+    s = list_schedule(seq)
+    for e in ddg.edges:
+        assert s.start[e.src] + e.weight <= s.start[e.dst], \
+            f"violated {e.kind} edge {e.src}->{e.dst}"
+    # Every op scheduled exactly once.
+    assert sorted(s.start) == list(range(len(seq)))

@@ -1,0 +1,109 @@
+"""Timing-simulator invariants, checked over random programs.
+
+These are differential/metamorphic properties: they must hold for ANY
+program, so the random generator gives broad coverage cheaply.
+"""
+
+import pytest
+
+from repro.isa.randprog import random_program
+from repro.sim import FunctionalSim, TimingSim, r10k_config
+
+SEEDS = list(range(12))
+
+
+def run(prog, predictor="twobit", **over):
+    fsim = FunctionalSim(prog, record_outcomes=False)
+    st = TimingSim(r10k_config(predictor, **over)).run(fsim.trace())
+    return st, fsim.stats
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ipc_bounded_by_width(seed):
+    st, _ = run(random_program(seed))
+    assert 0 < st.ipc <= 4.0 + 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_commit_conservation(seed):
+    """Every dynamically executed instruction commits exactly once."""
+    prog = random_program(seed)
+    st, ex = run(prog)
+    assert st.committed + st.annulled == ex.steps
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cycles_lower_bound(seed):
+    """Cycles >= instructions / commit width (can't beat the width)."""
+    prog = random_program(seed)
+    st, ex = run(prog)
+    assert st.cycles >= ex.steps / 4.0 - 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_perfect_never_slower(seed):
+    prog = random_program(seed)
+    st2, _ = run(prog, "twobit")
+    stp, _ = run(prog, "perfect")
+    assert stp.cycles <= st2.cycles
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_perfect_has_no_mispredicts(seed):
+    stp, _ = run(random_program(seed), "perfect")
+    assert stp.mispredict_events == 0
+    assert stp.predictor.accuracy == 1.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bigger_machine_never_slower(seed):
+    prog = random_program(seed)
+    small, _ = run(prog, rob_size=8, int_queue_size=4, addr_queue_size=4)
+    big, _ = run(prog)
+    assert big.cycles <= small.cycles
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_deterministic(seed):
+    prog = random_program(seed)
+    a, _ = run(prog)
+    b, _ = run(prog)
+    assert a.cycles == b.cycles
+    assert a.queue_full_cycles == b.queue_full_cycles
+    assert a.unit_issues == b.unit_issues
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_queue_full_fraction_valid(seed):
+    st, _ = run(random_program(seed))
+    for name in ("br", "ldst", "alu", "fp"):
+        pct = st.queue_full_pct(name)
+        assert 0.0 <= pct <= 100.0
+
+
+def test_rename_register_stall():
+    """Only 32 rename registers: a burst of >32 in-flight defs must stall
+    dispatch rather than crash or deadlock."""
+    from repro.isa import parse
+
+    body = "\n".join(f"add r{1 + (i % 20)}, r0, r0" for i in range(100))
+    prog = parse(f".text\n{body}\nhalt\n")
+    st, ex = run(prog, "perfect", rob_size=64)
+    assert st.committed == ex.steps
+
+
+def test_branch_buffer_full_stalls():
+    from repro.isa import parse
+
+    # Many independent branches in flight with a tiny branch buffer.
+    lines = [".text", "    li r1, 1"]
+    for i in range(20):
+        lines.append(f"    beq r0, r1, T{i}")
+        lines.append(f"T{i}:")
+        lines.append("    nop")
+    lines.append("    halt")
+    prog = parse("\n".join(lines))
+    small, _ = run(prog, "perfect", branch_buffer_size=1)
+    big, _ = run(prog, "perfect", branch_buffer_size=16)
+    assert big.cycles <= small.cycles
+    assert small.queue_full_cycles["br"] > 0

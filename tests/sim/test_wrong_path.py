@@ -1,0 +1,88 @@
+"""Wrong-path fetch modeling (optional timing-simulator mode)."""
+
+import pytest
+
+from repro.isa import parse
+from repro.isa.randprog import random_program
+from repro.sim import FunctionalSim, TimingSim, r10k_config
+
+MISPREDICTY = """
+.text
+    li   r1, 0
+    li   r2, 200
+    li   r4, 12345
+L:
+    muli r4, r4, 1103515245
+    addi r4, r4, 12345
+    srl  r5, r4, 16
+    andi r5, r5, 1
+    beqz r5, even          # coin flip: constant mispredictions
+    addi r10, r10, 1
+    addi r11, r11, 2
+    j    next
+even:
+    addi r12, r12, 1
+    addi r13, r13, 2
+next:
+    addi r1, r1, 1
+    bne  r1, r2, L
+    halt
+"""
+
+
+def run(prog, wrong_path, **over):
+    sim = TimingSim(r10k_config("twobit", **over), program=prog,
+                    model_wrong_path=wrong_path)
+    return sim.run_program(prog)
+
+
+def test_committed_identical():
+    """Wrong-path work must not change what commits."""
+    prog = parse(MISPREDICTY)
+    a = run(prog, False)
+    b = run(prog, True)
+    assert a.committed == b.committed
+    assert a.mispredict_events == b.mispredict_events
+
+
+def test_phantoms_squashed():
+    prog = parse(MISPREDICTY)
+    st = run(prog, True)
+    assert st.wrong_path_squashed > 0
+    st0 = run(prog, False)
+    assert st0.wrong_path_squashed == 0
+
+
+def test_occupancy_rises_with_wrong_path():
+    """Phantoms occupy the reservation queues during resolution windows."""
+    prog = parse(MISPREDICTY)
+    a = run(prog, False, int_queue_size=4)
+    b = run(prog, True, int_queue_size=4)
+    assert b.queue_full_cycles["alu"] >= a.queue_full_cycles["alu"]
+
+
+def test_cycles_close_to_baseline():
+    """Phantom work competes for units but must not change the timing by
+    more than the contention it models (bounded sanity check)."""
+    prog = parse(MISPREDICTY)
+    a = run(prog, False)
+    b = run(prog, True)
+    assert b.cycles >= a.cycles  # contention can only slow things
+    assert b.cycles <= a.cycles * 1.5
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_programs_commit_conservation(seed):
+    prog = random_program(seed)
+    fsim = FunctionalSim(prog, record_outcomes=False)
+    steps = sum(1 for _ in fsim.trace())
+    st = run(prog, True)
+    assert st.committed + st.annulled == steps
+
+
+def test_perfect_prediction_no_phantoms():
+    prog = parse(MISPREDICTY)
+    sim = TimingSim(r10k_config("perfect"), program=prog,
+                    model_wrong_path=True)
+    st = sim.run_program(prog)
+    assert st.wrong_path_squashed == 0

@@ -1,0 +1,61 @@
+"""Command-line interface tests (in-process: fast, no subprocess)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_run_benchmark(capsys):
+    assert main(["run", "espresso", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "espresso" in out
+
+
+def test_run_proposed(capsys):
+    assert main(["run", "espresso", "--scale", "0.1", "--proposed"]) == 0
+    assert "proposed" in capsys.readouterr().out
+
+
+def test_run_predictor_choice(capsys):
+    assert main(["run", "grep", "--scale", "0.1",
+                 "--predictor", "perfect"]) == 0
+    out = capsys.readouterr().out
+    assert "perfect" in out
+    assert "100.00%" in out  # perfect accuracy
+
+
+def test_profile(capsys):
+    assert main(["profile", "compress", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "freq=" in out
+    assert "toggle=" in out
+
+
+def test_compile(capsys):
+    assert main(["compile", "xlisp", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "branch-likelies" in out
+
+
+def test_compile_emit(capsys):
+    assert main(["compile", "grep", "--scale", "0.1", "--emit"]) == 0
+    out = capsys.readouterr().out
+    assert "halt" in out  # assembly was printed
+
+
+def test_run_file(tmp_path, capsys):
+    f = tmp_path / "tiny.s"
+    f.write_text(".text\nli r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt\n")
+    assert main(["run", str(f)]) == 0
+    assert "IPC" in capsys.readouterr().out
+
+
+def test_unknown_program():
+    with pytest.raises(SystemExit):
+        main(["run", "no-such-benchmark"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

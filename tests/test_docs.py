@@ -1,0 +1,38 @@
+"""Documentation consistency checks."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_isa_doc_is_current():
+    """docs/ISA.md must match the generator's output (no drift)."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        from gen_isa_doc import render
+    finally:
+        sys.path.pop(0)
+    assert (ROOT / "docs" / "ISA.md").read_text() == render(), \
+        "run: python tools/gen_isa_doc.py"
+
+
+def test_required_documents_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ISA.md"):
+        path = ROOT / name
+        assert path.exists() and path.stat().st_size > 500, name
+
+
+def test_experiments_covers_all_artifacts():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for artifact in ("Figure 2", "Figure", "Table 1", "Table 2", "Table 3",
+                     "Table 4", "2756", "3100", "ablation"):
+        assert artifact.lower() in text.lower(), artifact
+
+
+def test_design_lists_every_bench():
+    text = (ROOT / "DESIGN.md").read_text()
+    for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+        # Every bench is referenced from DESIGN.md or EXPERIMENTS.md.
+        exp = (ROOT / "EXPERIMENTS.md").read_text()
+        assert bench.name in text or bench.name in exp, bench.name

@@ -1,0 +1,49 @@
+"""Every example script must stay runnable (smoke tests, small scales)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv, capsys):
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["0.15"], capsys)
+    assert "timing simulation" in out
+    assert "IPC ratio" in out
+
+
+def test_branch_splitting(capsys):
+    out = run_example("branch_splitting.py", [], capsys)
+    assert "3100" in out and "2756" in out
+    assert "observable registers identical: True" in out
+
+
+def test_guarded_vs_speculative(capsys):
+    out = run_example("guarded_vs_speculative.py", [], capsys)
+    assert "guarding WINS" in out
+    assert "guarding LOSES" in out
+
+
+def test_simulator_tour(capsys):
+    out = run_example("simulator_tour.py", [], capsys)
+    assert "Branch outcome bit vectors" in out
+    assert "twobit" in out and "perfect" in out
+
+
+def test_feedback_workflow(tmp_path, capsys):
+    out = run_example("feedback_workflow.py", [str(tmp_path)], capsys)
+    assert "feedback file" in out
+    assert "Proposed" in out

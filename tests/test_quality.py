@@ -1,0 +1,62 @@
+"""Repository-quality checks: public API documentation and exports."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.isa", "repro.cfg", "repro.sim", "repro.profilefb",
+    "repro.sched", "repro.transform", "repro.core", "repro.workloads",
+    "repro.eval",
+]
+
+
+def _public_members(mod):
+    names = getattr(mod, "__all__", None)
+    if names is None:
+        names = [n for n in dir(mod) if not n.startswith("_")]
+    for n in names:
+        yield n, getattr(mod, n)
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_module_docstrings(pkg):
+    mod = importlib.import_module(pkg)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{pkg} lacks a docstring"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_exports_resolve(pkg):
+    mod = importlib.import_module(pkg)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{pkg}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_public_callables_documented(pkg):
+    mod = importlib.import_module(pkg)
+    undocumented = []
+    for name, obj in _public_members(mod):
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if obj.__module__ is not None and \
+                    not obj.__module__.startswith("repro"):
+                continue  # re-exported stdlib/third-party
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{pkg}: undocumented public API: {undocumented}"
+
+
+def test_all_submodules_importable():
+    count = 0
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        importlib.import_module(info.name)
+        count += 1
+    assert count >= 30  # the repository is not a stub
+
+
+def test_version():
+    assert repro.__version__

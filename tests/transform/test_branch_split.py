@@ -1,0 +1,285 @@
+"""Branch splitting: both the Figure 5 sectioned form (default) and the
+literal Figure 7(b) inline form."""
+
+import pytest
+
+from repro.cfg import LoopForest, build_cfg
+from repro.isa import parse
+from repro.profilefb import ProfileDB, Segment
+from repro.sim import TimingSim, r10k_config
+from repro.transform import (
+    SplitNotApplicable, ensure_preheader, split_branch, split_branch_inline,
+    split_branch_sectioned, split_from_profile,
+)
+from tests.transform.conftest import assert_equivalent
+
+# A loop whose forward branch is taken for i<40 and not-taken after; r10
+# accumulates on the taken path, r11 on the fall path.
+TWO_PHASE = """
+.text
+main:
+    li   r1, 0
+    li   r2, 100
+loop:
+    slti r3, r1, 40
+    bnez r3, hot
+    addi r11, r11, 1
+    j    latch
+hot:
+    addi r10, r10, 1
+latch:
+    addi r1, r1, 1
+    bne  r1, r2, loop
+    halt
+"""
+
+SEGS_2 = (Segment(0, 40, "taken", 1.0), Segment(40, 100, "nottaken", 0.0))
+SEGS_3 = (Segment(0, 40, "taken", 1.0),
+          Segment(40, 60, "mixed", 0.5),
+          Segment(60, 100, "nottaken", 0.0))
+
+
+def labels_of(cfg):
+    return {bb.label: bb for bb in cfg.blocks if bb.label}
+
+
+def split(style, segs=SEGS_2, src=TWO_PHASE):
+    cfg = build_cfg(src)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    rep = split_branch(cfg, forest, lab["loop"].bid, segs, style=style)
+    return cfg, rep
+
+
+# ---- inline style (Figure 7(b) literal) -------------------------------------------
+
+def test_inline_structure():
+    cfg, rep = split("inline")
+    assert rep.likely_branches == 2
+    assert rep.boundaries == [40]
+    prog = cfg.to_program()
+    ops = [i.op for i in prog]
+    assert ops.count("bctl") == 2   # one likely per biased segment
+    assert ops.count("bct") == 1    # the plain fallback
+    assert any(i.op == "li" and i.ann.get("split_counter") for i in prog)
+    assert any(i.op == "addi" and i.ann.get("split_counter") for i in prog)
+
+
+@pytest.mark.parametrize("style", ["inline", "sectioned"])
+def test_two_phase_semantics(style):
+    cfg, _ = split(style)
+    a, b = assert_equivalent(parse(TWO_PHASE), cfg.to_program(),
+                             regs=["r1", "r2", "r10", "r11"])
+    assert b.regs["r10"] == 40
+    assert b.regs["r11"] == 60
+
+
+@pytest.mark.parametrize("style", ["inline", "sectioned"])
+def test_three_phase_semantics(style):
+    cfg, rep = split(style, SEGS_3)
+    assert rep.boundaries == [40, 60]
+    assert_equivalent(parse(TWO_PHASE), cfg.to_program(),
+                      regs=["r1", "r2", "r10", "r11"])
+
+
+# ---- sectioned style (Figure 5) --------------------------------------------------
+
+def test_sectioned_structure():
+    cfg, rep = split("sectioned")
+    prog = cfg.to_program()
+    ops = [i.op for i in prog]
+    # Section 1's split branch became a likely; section 1's latch has a
+    # likely stay-branch; section 2 (original) keeps plain forms on the
+    # split branch (negated likely for its nottaken bias).
+    assert ops.count("bctl") == 1            # section-stay test
+    assert ops.count("bnezl") + ops.count("beqzl") >= 2  # specialized branches
+    assert rep.likely_branches == 3
+
+
+def test_sectioned_clones_loop_body():
+    cfg_orig = build_cfg(TWO_PHASE)
+    n_orig = len(cfg_orig.blocks)
+    cfg, _ = split("sectioned")
+    # One extra body clone (4 blocks) + handoff block + (preheader reused).
+    assert len(cfg.blocks) > n_orig
+
+
+def test_sectioned_improves_prediction():
+    """The headline property: sectioned split code predicts better than
+    the original under the same 2-bit hardware."""
+    orig = parse(TWO_PHASE)
+    cfg, _ = split("sectioned")
+    split_prog = cfg.to_program()
+    st_orig = TimingSim(r10k_config("twobit")).run_program(orig)
+    st_split = TimingSim(r10k_config("twobit")).run_program(split_prog)
+    assert st_split.predictor.accuracy >= st_orig.predictor.accuracy
+
+
+def test_sectioned_helps_on_toggling_segment():
+    """A branch that toggles inside a segment but is biased outside: the
+    sectioned code isolates the anomaly and the biased sections become
+    perfectly predicted likelies."""
+    src = """
+.text
+main:
+    li   r1, 0
+    li   r2, 200
+loop:
+    slti r3, r1, 80
+    bnez r3, hot          # T for i<80...
+    li   r4, 120
+    slt  r5, r1, r4
+    beqz r5, cold         # F for i>=120
+    andi r6, r1, 1
+    bnez r6, hot
+    j    cold
+hot:
+    addi r10, r10, 1
+    j    latch
+cold:
+    addi r11, r11, 1
+latch:
+    addi r1, r1, 1
+    bne  r1, r2, loop
+    halt
+"""
+    prog = parse(src)
+    db = ProfileDB.from_run(prog)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    rep = split_from_profile(cfg, forest, lab["loop"].bid, db)
+    assert rep.likely_branches >= 1
+    new_prog = cfg.to_program()
+    assert_equivalent(parse(src), new_prog, regs=["r1", "r2", "r10", "r11"])
+    st_orig = TimingSim(r10k_config("twobit")).run_program(parse(src))
+    st_split = TimingSim(r10k_config("twobit")).run_program(new_prog)
+    assert st_split.mispredict_events <= st_orig.mispredict_events
+
+
+def test_inline_hurts_prediction_documented():
+    """Reproduction finding (EXPERIMENTS.md): the literal inline encoding
+    degrades prediction under always-taken likely semantics, because each
+    likely branch falls through in the segments where its predicate is
+    false."""
+    orig = parse(TWO_PHASE)
+    cfg, _ = split("inline")
+    st_orig = TimingSim(r10k_config("twobit")).run_program(orig)
+    st_inline = TimingSim(r10k_config("twobit")).run_program(cfg.to_program())
+    assert st_inline.predictor.accuracy < st_orig.predictor.accuracy
+
+
+# ---- rejection paths ----------------------------------------------------------------
+
+@pytest.mark.parametrize("style", ["inline", "sectioned"])
+def test_rejects_all_mixed(style):
+    cfg = build_cfg(TWO_PHASE)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    segs = (Segment(0, 50, "mixed", 0.5), Segment(50, 100, "mixed", 0.4))
+    with pytest.raises(SplitNotApplicable):
+        split_branch(cfg, forest, lab["loop"].bid, segs, style=style)
+
+
+@pytest.mark.parametrize("style", ["inline", "sectioned"])
+def test_rejects_non_loop_branch(style):
+    src = """
+.text
+    beq r1, r2, A
+    li r3, 1
+A:
+    halt
+"""
+    cfg = build_cfg(src)
+    forest = LoopForest(cfg)
+    with pytest.raises(SplitNotApplicable):
+        split_branch(cfg, forest, cfg.entry.bid, SEGS_2, style=style)
+
+
+def test_rejects_wrong_segment_count():
+    cfg = build_cfg(TWO_PHASE)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    with pytest.raises(SplitNotApplicable):
+        split_branch(cfg, forest, lab["loop"].bid,
+                     (Segment(0, 100, "taken", 1.0),))
+
+
+@pytest.mark.parametrize("style", ["inline", "sectioned"])
+def test_rejects_register_pressure(style):
+    from repro.isa.registers import RegisterPool
+
+    cfg = build_cfg(TWO_PHASE)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    with pytest.raises(SplitNotApplicable):
+        split_branch(cfg, forest, lab["loop"].bid, SEGS_2, style=style,
+                     cc_pool=RegisterPool(["cc0", "cc1"]))
+
+
+def test_sectioned_rejects_latch_branch():
+    cfg = build_cfg(TWO_PHASE)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    with pytest.raises(SplitNotApplicable):
+        split_branch_sectioned(cfg, forest, lab["latch"].bid, SEGS_2)
+
+
+def test_unknown_style():
+    cfg = build_cfg(TWO_PHASE)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    with pytest.raises(ValueError):
+        split_branch(cfg, forest, lab["loop"].bid, SEGS_2, style="magic")
+
+
+def test_split_from_profile_end_to_end():
+    prog = parse(TWO_PHASE)
+    db = ProfileDB.from_run(prog)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    rep = split_from_profile(cfg, forest, lab["loop"].bid, db)
+    assert rep.likely_branches >= 1
+    assert_equivalent(parse(TWO_PHASE), cfg.to_program(),
+                      regs=["r1", "r2", "r10", "r11"])
+
+
+def test_split_from_profile_rejects_unphased():
+    prog = parse(TWO_PHASE)
+    db = ProfileDB.from_run(prog)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    with pytest.raises(SplitNotApplicable):
+        split_from_profile(cfg, forest, lab["latch"].bid, db)  # back branch
+
+
+def test_ensure_preheader_reuses_existing():
+    cfg = build_cfg(TWO_PHASE)
+    lab = labels_of(cfg)
+    forest = LoopForest(cfg)
+    loop = forest.loops[0]
+    pre1 = ensure_preheader(cfg, loop)
+    assert pre1 == lab["main"].bid
+    assert ensure_preheader(cfg, loop) == pre1
+
+
+def test_ensure_preheader_creates_when_needed():
+    src = """
+.text
+    beq r9, r0, loop
+    li r8, 1
+loop:
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+"""
+    cfg = build_cfg(src)
+    forest = LoopForest(cfg)
+    loop = forest.loops[0]
+    nblocks = len(cfg.blocks)
+    pre = ensure_preheader(cfg, loop)
+    assert len(cfg.blocks) == nblocks + 1
+    assert cfg.succs(pre) == [loop.header]
+    cfg.to_program().validate()

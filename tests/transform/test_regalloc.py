@@ -1,0 +1,119 @@
+"""Register compaction: interference, coloring, semantic preservation."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.isa import parse
+from repro.isa.randprog import RandProgConfig, observable_state, random_program
+from repro.transform import (
+    build_interference, compact_registers, free_registers, register_pressure,
+)
+from tests.transform.conftest import assert_equivalent
+
+
+def test_disjoint_ranges_share_a_register():
+    src = """
+.text
+    li  r5, 1
+    add r6, r5, r5
+    sw  r6, 0(r29)
+    li  r10, 2          # r5/r6 dead here: r10/r11 can reuse them
+    add r11, r10, r10
+    sw  r11, 4(r29)
+    halt
+"""
+    cfg = build_cfg(src)
+    rep = compact_registers(cfg)
+    assert rep.registers_after < rep.registers_before
+    assert_equivalent(parse(src), cfg.to_program(), regs=[])
+
+
+def test_interfering_ranges_stay_apart():
+    src = """
+.text
+    li  r1, 1
+    li  r2, 2
+    add r3, r1, r2      # r1 and r2 simultaneously live
+    sw  r3, 0(r29)
+    halt
+"""
+    cfg = build_cfg(src)
+    adj = build_interference(cfg)
+    assert "r2" in adj["r1"]
+    compact_registers(cfg)
+    # Values must still be distinct.
+    from repro.sim import final_state
+
+    s = final_state(cfg.to_program())
+    assert s.mem.read_word(0x7FFFFF00) == 3
+
+
+def test_keeps_original_names_when_legal():
+    src = ".text\nli r1, 1\nsw r1, 0(r29)\nhalt\n"
+    cfg = build_cfg(src)
+    rep = compact_registers(cfg)
+    assert rep.mapping == {}
+
+
+def test_reserved_untouched():
+    src = ".text\nli r1, 5\nsw r1, 0(r29)\njal f\nhalt\nf:\njr r31\n"
+    cfg = build_cfg(src)
+    rep = compact_registers(cfg)
+    assert "r29" not in rep.mapping
+    assert "r31" not in rep.mapping
+
+
+def test_compaction_replenishes_rename_pool():
+    # A program squatting on high register numbers with short lifetimes.
+    lines = [".text"]
+    for i in range(1, 28):
+        lines.append(f"    li   r{i}, {i}")
+        lines.append(f"    sw   r{i}, {4 * i}(r29)")
+    lines.append("    halt")
+    src = "\n".join(lines)
+    cfg = build_cfg(src)
+    before = len(free_registers(cfg))
+    compact_registers(cfg)
+    after = len(free_registers(cfg))
+    assert after > before
+
+
+def test_register_pressure():
+    low = build_cfg(".text\nli r1, 1\nsw r1, 0(r29)\nhalt\n")
+    assert register_pressure(low) <= 2
+    src = (".text\n" + "\n".join(f"li r{i}, {i}" for i in range(1, 9))
+           + "\n" + "\n".join(f"sw r{i}, {4 * i}(r29)" for i in range(1, 9))
+           + "\nhalt\n")
+    high = build_cfg(src)
+    assert register_pressure(high) >= 8
+
+
+@pytest.mark.parametrize("seed", range(16))
+def test_compaction_preserves_random_programs(seed):
+    prog = random_program(seed)
+    cfg = build_cfg(prog)
+    compact_registers(cfg)
+    # The observable funnel registers may themselves be renamed; compare
+    # the machine's full visible effect instead: run both and compare the
+    # stored words after remapping-aware stores (the stores were remapped
+    # consistently, so the memory image must be identical).
+    assert observable_state(cfg.to_program()) == observable_state(prog)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_compaction_preserves_call_programs(seed):
+    prog = random_program(seed, RandProgConfig(with_calls=True))
+    cfg = build_cfg(prog)
+    compact_registers(cfg)
+    assert observable_state(cfg.to_program()) == observable_state(prog)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_compaction_then_proposed_pipeline(seed):
+    from repro.core import compile_proposed
+
+    prog = random_program(seed)
+    cfg = build_cfg(prog)
+    compact_registers(cfg)
+    out = compile_proposed(cfg.to_program()).program
+    assert observable_state(out) == observable_state(prog)

@@ -1,0 +1,139 @@
+"""Reverse if-conversion: guarded code back to explicit control flow."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.isa import parse
+from repro.isa.randprog import observable_state, random_program
+from repro.transform import (
+    fully_lower, if_convert_diamond, reverse_if_convert,
+)
+from tests.transform.conftest import assert_equivalent
+
+GUARDED = """
+.text
+main:
+    li   r1, {r1}
+    li   r2, 5
+    cmpeq cc0, r1, r2
+    (cc0)  addi r3, r3, 10
+    (cc0)  addi r4, r4, 20
+    (!cc0) addi r3, r3, 1
+    sw   r3, 0(r29)
+    sw   r4, 4(r29)
+    halt
+"""
+
+
+@pytest.mark.parametrize("r1", [5, 6])
+def test_reverse_basic_semantics(r1):
+    src = GUARDED.format(r1=r1)
+    cfg = build_cfg(src)
+    rep = reverse_if_convert(cfg)
+    assert rep.runs_converted == 2      # (cc0) run and (!cc0) run
+    assert rep.instructions_unguarded == 3
+    prog = cfg.to_program()
+    assert not any(i.is_guarded for i in prog)
+    assert_equivalent(parse(src), prog, regs=["r1", "r2", "r3", "r4"])
+
+
+def test_reverse_emits_branches():
+    cfg = build_cfg(GUARDED.format(r1=5))
+    reverse_if_convert(cfg)
+    ops = [i.op for i in cfg.to_program()]
+    assert "bcf" in ops   # skip positive-sense run when guard false
+    assert "bct" in ops   # skip negative-sense run when guard true
+
+
+@pytest.mark.parametrize("r1", [5, 6])
+def test_reverse_handles_guarded_stores(r1):
+    src = f"""
+.text
+main:
+    li   r1, {r1}
+    li   r2, 5
+    li   r5, 99
+    cmpeq cc0, r1, r2
+    (cc0)  sw r5, 0(r29)
+    (!cc0) sw r5, 4(r29)
+    halt
+"""
+    cfg = build_cfg(src)
+    reverse_if_convert(cfg)
+    prog = cfg.to_program()
+    assert not any(i.is_guarded for i in prog)
+    assert_equivalent(parse(src), prog, regs=["r1", "r2", "r5"])
+
+
+@pytest.mark.parametrize("r1", [5, 6])
+def test_ifconvert_then_reverse_roundtrip(r1):
+    """if-convert a diamond, then reverse-convert: behavior identical."""
+    src = f"""
+.text
+main:
+    li  r1, {r1}
+    li  r2, 5
+    li  r7, 3
+    beq r1, r2, L1
+    add r3, r7, r7
+    j   join
+L1:
+    sub r3, r7, r7
+join:
+    sw  r3, 0(r29)
+    halt
+"""
+    cfg = build_cfg(src)
+    lab = {bb.label: bb for bb in cfg.blocks if bb.label}
+    assert if_convert_diamond(cfg, lab["main"].bid) is not None
+    reverse_if_convert(cfg)
+    prog = cfg.to_program()
+    assert not any(i.is_guarded for i in prog)
+    assert_equivalent(parse(src), prog, regs=["r1", "r2", "r3", "r7"])
+
+
+def test_reverse_run_in_terminated_block():
+    # Guarded run in a block ending with a branch: terminator moves to tail.
+    src = """
+.text
+main:
+    li   r1, 1
+    cmpne cc1, r1, r0
+    (cc1) addi r2, r2, 7
+    bnez r1, end
+    li   r3, 5
+end:
+    sw   r2, 0(r29)
+    halt
+"""
+    cfg = build_cfg(src)
+    reverse_if_convert(cfg)
+    prog = cfg.to_program()
+    prog.validate()
+    assert_equivalent(parse(src), prog, regs=["r1", "r2", "r3"])
+
+
+def test_reverse_noop_on_unguarded():
+    cfg = build_cfg(".text\nli r1, 1\nhalt\n")
+    rep = reverse_if_convert(cfg)
+    assert rep.runs_converted == 0
+    assert rep.blocks_added == 0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fully_lower_after_greedy_ifconvert(seed):
+    """Property: greedy if-conversion followed by full lowering round-trips
+    random programs (predication as a purely internal representation)."""
+    prog = random_program(seed)
+    cfg = build_cfg(prog)
+    changed = True
+    while changed:
+        changed = False
+        for bb in list(cfg.blocks):
+            if bb.bid in cfg._by_id and if_convert_diamond(cfg, bb.bid):
+                changed = True
+                break
+    fully_lower(cfg)
+    lowered = cfg.to_program()
+    assert not any(i.is_guarded and i.dest is None for i in lowered)
+    assert observable_state(lowered) == observable_state(prog)

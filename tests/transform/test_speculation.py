@@ -1,0 +1,309 @@
+"""Speculative code motion: mechanics and semantic preservation."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.isa import parse
+from repro.transform import (
+    duplicate_into_predecessors, eliminate_dead_code, forward_substitute_block,
+    free_registers, is_speculatable, speculate_from_successor,
+)
+from tests.transform.conftest import assert_equivalent
+
+# The paper's Figure 1 situation: a sub past a branch, r6 live on the
+# fall-through path.
+FIG1 = """
+.text
+main:
+    li   r1, 5
+    li   r2, 5
+    li   r3, 10
+    li   r6, 77          # r6 live on fall-thru path
+    beq  r1, r2, L1
+fall:
+    add  r8, r6, r4      # uses OLD r6
+    j    end
+L1:
+    subi r6, r3, 1       # the speculated instruction
+    add  r8, r6, r4      # uses NEW r6
+end:
+    sw   r8, 0(r29)
+    halt
+"""
+
+
+def labels_of(cfg):
+    return {bb.label: bb for bb in cfg.blocks if bb.label}
+
+
+def test_fig1_speculation_renames():
+    prog = parse(FIG1)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 2)
+    assert rep.count >= 1
+    # r6 was live on the fall path: the hoisted sub must be renamed, with a
+    # copy left behind (paper Figure 1(b)).
+    assert "r6" in rep.renamed
+    fresh = rep.renamed["r6"]
+    hoisted = [i for i in lab["main"].instructions
+               if i.ann.get("speculated_from") is not None]
+    assert hoisted[0].op == "subi"
+    assert hoisted[0].dest == fresh
+    copies = [i for i in lab["L1"].instructions if i.op == "mov"]
+    assert copies and copies[0].dest == "r6" and copies[0].srcs == (fresh,)
+
+
+def test_fig1_forward_substitution_applied():
+    prog = parse(FIG1)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 2)
+    fresh = rep.renamed["r6"]
+    # The dependent add was hoisted too, reading the renamed register
+    # directly (the rename map substituted its source).
+    add = [i for i in lab["main"].instructions if i.op == "add"][0]
+    assert fresh in add.srcs
+    # Hoisting only the subi leaves the add behind; forward substitution
+    # then rewires it through the copy.
+    cfg2 = build_cfg(parse(FIG1))
+    lab2 = labels_of(cfg2)
+    rep2 = speculate_from_successor(cfg2, lab2["main"].bid, lab2["L1"].bid, 1)
+    fresh2 = rep2.renamed["r6"]
+    add2 = [i for i in lab2["L1"].instructions if i.op == "add"][0]
+    assert fresh2 in add2.srcs
+
+
+def test_fig1_semantics_preserved():
+    prog = parse(FIG1)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 2)
+    assert_equivalent(parse(FIG1), cfg.to_program(),
+                      regs=["r1", "r2", "r3", "r6", "r8"])
+
+
+def test_fig1_semantics_preserved_on_fall_path():
+    # Flip the branch so the fall path executes: old r6 must survive.
+    src = FIG1.replace("li   r2, 5", "li   r2, 6")
+    prog = parse(src)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 2)
+    assert_equivalent(parse(src), cfg.to_program(),
+                      regs=["r1", "r2", "r3", "r6", "r8"])
+
+
+def test_no_rename_when_dest_dead_elsewhere():
+    src = """
+.text
+main:
+    li  r1, 1
+    beq r1, r0, L1
+    li  r9, 0
+    j   end
+L1:
+    li  r5, 42        # r5 dead on the other path
+    add r6, r5, r5
+end:
+    halt
+"""
+    cfg = build_cfg(src)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 1)
+    assert rep.count == 1
+    assert rep.renamed == {}  # hoisted under its own name
+    # r5 is intentionally clobbered on the untaken path (that's what
+    # speculation without rename means); every live register must agree.
+    assert_equivalent(parse(src), cfg.to_program(),
+                      regs=["r1", "r6", "r9"])
+
+
+def test_stores_not_speculated():
+    src = """
+.text
+main:
+    li  r1, 1
+    li  r2, 0x1000
+    beq r1, r0, L1
+    j   end
+L1:
+    sw  r1, 0(r2)
+end:
+    halt
+"""
+    cfg = build_cfg(src)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 4)
+    assert rep.count == 0
+    assert_equivalent(parse(src), cfg.to_program(), regs=["r1", "r2"])
+
+
+def test_chain_speculation():
+    # Two dependent instructions hoist together through the rename map.
+    src = """
+.text
+main:
+    li  r1, 1
+    li  r3, 7
+    li  r5, 100
+    li  r6, 200
+    beq r1, r0, L1
+    add r9, r5, r6
+    j   end
+L1:
+    addi r5, r3, 1
+    add  r6, r5, r5
+    add  r9, r5, r6
+end:
+    sw r9, 0(r29)
+    halt
+"""
+    cfg = build_cfg(src)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 2)
+    assert rep.count == 2
+    # Both defs were live on the other path -> both renamed.
+    assert set(rep.renamed) == {"r5", "r6"}
+    assert_equivalent(parse(src), cfg.to_program(),
+                      regs=["r1", "r3", "r5", "r6", "r9"])
+    # Flip to the fall path too.
+    src_flip = src.replace("li  r1, 1", "li  r1, 0")
+    cfg2 = build_cfg(src_flip)
+    lab2 = labels_of(cfg2)
+    speculate_from_successor(cfg2, lab2["main"].bid, lab2["L1"].bid, 2)
+    assert_equivalent(parse(src_flip), cfg2.to_program(),
+                      regs=["r1", "r3", "r5", "r6", "r9"])
+
+
+def test_loads_speculated_but_not_past_stores():
+    src = """
+.text
+main:
+    li  r1, 1
+    li  r2, 0x1000
+    beq r1, r0, L1
+    j   end
+L1:
+    sw  r1, 0(r2)
+    lw  r4, 0(r2)
+end:
+    halt
+"""
+    cfg = build_cfg(src)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 4)
+    assert rep.count == 0  # store blocks, load can't pass it
+
+
+def test_max_ops_respected():
+    src = """
+.text
+main:
+    beq r1, r0, L1
+    j   end
+L1:
+    li r3, 1
+    li r4, 2
+    li r5, 3
+end:
+    halt
+"""
+    cfg = build_cfg(src)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 2)
+    assert rep.count == 2
+
+
+def test_is_speculatable():
+    from repro.isa import Guard, make
+
+    assert is_speculatable(make("add", "r1", "r2", "r3"))
+    assert is_speculatable(make("lw", "r1", 0, "r2"))
+    assert not is_speculatable(make("sw", "r1", 0, "r2"))
+    assert not is_speculatable(make("beq", "r1", "r2", "L"))
+    assert not is_speculatable(make("jal", "L"))
+    assert not is_speculatable(make("add", "r1", "r2", "r3",
+                                    guard=Guard("cc0")))
+
+
+def test_pool_exhaustion_stops():
+    from repro.isa.registers import RegisterPool
+
+    prog = parse(FIG1)
+    cfg = build_cfg(prog)
+    lab = labels_of(cfg)
+    rep = speculate_from_successor(cfg, lab["main"].bid, lab["L1"].bid, 2,
+                                   pool=RegisterPool([]))
+    # sub needs a rename (r6 live elsewhere) -> cannot hoist it.
+    assert "r6" not in rep.renamed
+    assert_equivalent(parse(FIG1), cfg.to_program(),
+                      regs=["r1", "r2", "r3", "r6", "r8"])
+
+
+# ---- downward duplication ------------------------------------------------------
+
+DIAMOND = """
+.text
+main:
+    li  r1, 1
+    li  r7, 3
+    beq r1, r0, L1
+    add r2, r7, r7
+    j   join
+L1:
+    sub r2, r7, r7
+join:
+    addi r3, r2, 5
+    mul  r4, r3, r3
+    sw   r4, 0(r29)
+    halt
+"""
+
+
+def test_duplicate_into_predecessors():
+    cfg = build_cfg(DIAMOND)
+    lab = labels_of(cfg)
+    n = duplicate_into_predecessors(cfg, lab["join"].bid, 2)
+    assert n == 2
+    assert len(lab["join"].instructions) == 2  # sw + halt remain
+    assert_equivalent(parse(DIAMOND), cfg.to_program(),
+                      regs=["r1", "r2", "r3", "r4", "r7"])
+
+
+def test_duplicate_stops_at_control():
+    cfg = build_cfg(DIAMOND)
+    lab = labels_of(cfg)
+    n = duplicate_into_predecessors(cfg, lab["join"].bid, 10)
+    assert n == 3  # addi, mul, sw move; halt does not
+
+
+def test_duplicate_rejects_conditional_preds():
+    src = """
+.text
+main:
+    beq r1, r0, join
+    li  r2, 1
+join:
+    addi r3, r2, 5
+    halt
+"""
+    cfg = build_cfg(src)
+    lab = labels_of(cfg)
+    # One pred reaches join conditionally (the branch): refuse.
+    assert duplicate_into_predecessors(cfg, lab["join"].bid, 1) == 0
+
+
+def test_speculate_then_duplicate_fig2c():
+    """The full Figure 2(c) maneuver on a real diamond: hoist from the arms
+    into the head, duplicate the join into the freed arm slots."""
+    cfg = build_cfg(DIAMOND)
+    lab = labels_of(cfg)
+    head, join = lab["main"].bid, lab["join"].bid
+    arms = cfg.succs(head)
+    for arm in arms:
+        speculate_from_successor(cfg, head, arm, 1)
+    duplicate_into_predecessors(cfg, join, 1)
+    eliminate_dead_code(cfg)
+    assert_equivalent(parse(DIAMOND), cfg.to_program(),
+                      regs=["r1", "r2", "r3", "r4", "r7"])
