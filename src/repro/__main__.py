@@ -9,7 +9,10 @@ Commands:
 * ``compile`` — run the proposed pipeline and print the Figure 6 decision
   trail plus the transformed assembly;
 * ``run``     — simulate a program under one prediction scheme and print
-  the timing counters.
+  the timing counters;
+* ``verify``  — IR-verify and differentially check the baseline and
+  proposed compiles of a benchmark (or ``all``) against the original
+  program: structural invariants plus architectural equivalence.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from pathlib import Path
 from .core import compile_baseline, compile_proposed
 from .eval import (
     format_improvements, format_table1, format_table2, format_table3,
-    format_table4, run_suite,
+    format_table4, run_suite, suite_failures,
 )
 from .isa import format_program, parse
 from .isa.program import Program
@@ -44,13 +47,25 @@ def _load_program(name: str, scale: float) -> Program:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    runs = run_suite(scale=args.scale,
-                     progress=lambda b: print(f"running {b} ...",
-                                              file=sys.stderr))
+    try:
+        runs = run_suite(scale=args.scale, strict=args.strict,
+                         progress=lambda b: print(f"running {b} ...",
+                                                  file=sys.stderr))
+    except Exception as exc:  # noqa: BLE001 - --strict fail-fast exit
+        if args.strict:
+            print(f"FATAL ({type(exc).__name__}): {exc}", file=sys.stderr)
+            return 2
+        raise
     for text in (format_table1(runs), "", format_table2(), "",
                  format_table3(runs), "", format_table4(runs), "",
                  format_improvements(runs)):
         print(text)
+    failed = suite_failures(runs)
+    for cell in failed:
+        print(f"warning: {cell.benchmark}/{cell.scheme} failed: "
+              f"{cell.failure}", file=sys.stderr)
+    if failed and args.strict:
+        return 2
     if args.report:
         from .eval import write_report
 
@@ -75,6 +90,40 @@ def cmd_compile(args: argparse.Namespace) -> int:
         print()
         print(format_program(result.program))
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .robust import check_equivalence, verify_program
+
+    names = sorted(BENCHMARKS) if args.program == "all" else [args.program]
+    failed = 0
+    for name in names:
+        prog = _load_program(name, args.scale)
+        for tag, result in (("baseline", compile_baseline(prog)),
+                            ("proposed", compile_proposed(prog))):
+            violations = verify_program(result.program)
+            diff = check_equivalence(prog, result.program,
+                                     max_steps=args.max_steps)
+            ok = not violations and bool(diff)
+            print(f"{name:<12} {tag:<9} "
+                  f"{'OK' if ok else 'FAIL':<5} "
+                  f"invariants={'clean' if not violations else 'BROKEN'} "
+                  f"equivalence={'proved' if diff else 'FAILED'} "
+                  f"({diff.original_steps} vs {diff.transformed_steps} steps)")
+            for v in violations[:5]:
+                print(f"    {v}")
+            if not diff:
+                print(f"    {diff.reason}")
+            if result.fallback is not None or any(
+                    f.kind != "skip" for f in result.failures):
+                print(f"    note: compile degraded "
+                      f"(fallback={result.fallback})")
+                for f in result.failures:
+                    print(f"    {f}")
+            if not ok:
+                failed += 1
+    print(f"{'verify: all clean' if not failed else f'verify: {failed} FAILED'}")
+    return 1 if failed else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -102,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="workload scale factor (default 1.0)")
     p.add_argument("--report", metavar="FILE",
                    help="also write a markdown report to FILE")
+    p.add_argument("--strict", action="store_true",
+                   help="fail fast: abort (exit nonzero) on the first "
+                        "failed benchmark/scheme cell instead of rendering "
+                        "FAIL cells")
     p.set_defaults(func=cmd_tables)
 
     p = sub.add_parser("profile", help="print a program's feedback metrics")
@@ -115,6 +168,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--emit", action="store_true",
                    help="also print the transformed assembly")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "verify",
+        help="IR-verify + differentially check compiled benchmarks")
+    p.add_argument("program", help="benchmark name, .s file, or 'all'")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--max-steps", type=int, default=20_000_000,
+                   help="step budget for the reference run")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("run", help="simulate a program")
     p.add_argument("program", help="benchmark name or .s file")

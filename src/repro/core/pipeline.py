@@ -10,6 +10,20 @@
 
 Every pipeline returns a :class:`CompileResult` carrying the output program
 plus the decision trail, so experiments can report what was applied where.
+
+Crash containment
+-----------------
+Every stage of the proposed pipeline runs inside a
+:class:`repro.robust.sandbox.PassSandbox`: a stage that raises, or whose
+output fails the IR verifier, is rolled back and recorded as a
+:class:`~repro.robust.sandbox.PassFailure` in ``CompileResult.failures``
+while the remaining stages continue.  If the final program cannot be
+emitted or verified, compilation degrades down the ladder
+
+    proposed  ->  baseline schedule  ->  native (untransformed)
+
+recording which rung it landed on in ``CompileResult.fallback`` — a broken
+pass costs performance, never a crashed evaluation.
 """
 
 from __future__ import annotations
@@ -21,6 +35,8 @@ from ..cfg.graph import CFG, build_cfg
 from ..cfg.loops import LoopForest
 from ..isa.program import Program
 from ..profilefb.profiledb import ProfileDB
+from ..robust.sandbox import PassFailure, PassSandbox
+from ..robust.verifier import VerificationError, verify_program
 from ..sched.machine_model import DEFAULT_MODEL, MachineModel
 from ..sched.list_scheduler import reorder_block
 from ..sched.region import RegionReport, schedule_region
@@ -43,6 +59,18 @@ class CompileResult:
     likely_report: Optional[LikelyReport] = None
     region_report: Optional[RegionReport] = None
     profile: Optional[ProfileDB] = None
+    #: contained pass failures and recorded skips, in pipeline order
+    failures: list[PassFailure] = field(default_factory=list)
+    #: degradation rung the compile landed on: None (full proposed
+    #: pipeline output), "baseline" (local schedule only) or "native"
+    #: (input program returned untransformed)
+    fallback: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pass was contained or a fallback was taken."""
+        return self.fallback is not None or any(
+            f.kind != "skip" for f in self.failures)
 
     def summary(self) -> str:
         lines = [f"compiled {self.program.name}: "
@@ -56,6 +84,10 @@ class CompileResult:
         if self.region_report is not None:
             lines.append(f"  ops speculated:      {self.region_report.speculated}")
             lines.append(f"  ops duplicated down: {self.region_report.duplicated}")
+        if self.fallback is not None:
+            lines.append(f"  DEGRADED to:         {self.fallback}")
+        for f in self.failures:
+            lines.append(f"  {f}")
         return "\n".join(lines)
 
 
@@ -69,34 +101,78 @@ def compile_baseline(prog: Program,
     return CompileResult(program=cfg.to_program(prog.name + ".base"))
 
 
+def _fallback_result(prog: Program, model: MachineModel,
+                     result: "CompileResult") -> "CompileResult":
+    """Degrade *result* down the ladder: baseline schedule, else native."""
+    try:
+        base = compile_baseline(prog, model)
+        base.program.name = prog.name + ".proposed"
+        result.program = base.program
+        result.fallback = "baseline"
+    except Exception as exc:  # noqa: BLE001 - last rung must not raise
+        result.failures.append(PassFailure(
+            stage="fallback-baseline", kind="exception",
+            reason=f"{type(exc).__name__}: {exc}"))
+        result.program = prog
+        result.fallback = "native"
+    return result
+
+
 def compile_proposed(prog: Program,
                      heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
                      model: MachineModel = DEFAULT_MODEL,
                      profile: Optional[ProfileDB] = None,
-                     max_steps: int = 20_000_000) -> CompileResult:
-    """The paper's proposed scheme, end to end.
+                     max_steps: int = 20_000_000,
+                     verify: bool = True) -> CompileResult:
+    """The paper's proposed scheme, end to end, with crash containment.
 
     Pass a pre-built *profile* to skip the profiling run (e.g. to reuse one
-    run across ablation variants).
+    run across ablation variants).  *verify* runs the IR verifier after
+    every pass (rolling back passes that break an invariant); disable it
+    only for trusted perf-measurement loops.
     """
+    result = CompileResult(program=prog)
+
+    # 0. Profiling run.  Without feedback there is nothing to propose:
+    #    degrade straight to the baseline schedule.
     if profile is None:
-        profile = ProfileDB.from_run(prog, max_steps=max_steps,
-                                     config=heur.classify)
-    cfg = build_cfg(prog)
-    profile.annotate(cfg)
+        try:
+            profile = ProfileDB.from_run(prog, max_steps=max_steps,
+                                         config=heur.classify)
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(PassFailure(
+                stage="profile", kind="exception",
+                reason=f"{type(exc).__name__}: {exc}"))
+            return _fallback_result(prog, model, result)
+    result.profile = profile
+
+    try:
+        cfg = build_cfg(prog)
+    except Exception as exc:  # noqa: BLE001 - input program is broken
+        result.failures.append(PassFailure(
+            stage="build_cfg", kind="exception",
+            reason=f"{type(exc).__name__}: {exc}"))
+        return _fallback_result(prog, model, result)
+
+    box = PassSandbox(cfg, verify=verify)
+    box.run("annotate", lambda: profile.annotate(cfg))
     forest = LoopForest(cfg)
-    plan = decide(cfg, forest, profile, heur, model)
-    result = CompileResult(program=prog, plan=plan, profile=profile)
+
+    plan = box.run("decide", lambda: decide(cfg, forest, profile, heur, model))
+    if plan is None:
+        plan = DecisionPlan()
+    result.plan = plan
 
     # 1. Branch splitting (changes loop structure: apply first, re-derive
-    #    the forest afterwards).
+    #    the forest afterwards).  A split that declines records *why* in
+    #    the decision trail instead of dropping the reason.
     for d in plan.by_action("split"):
-        try:
-            split_from_profile(cfg, forest, d.block, profile,
-                               style=heur.split_style)
+        box.run(f"split@bb{d.block}",
+                lambda d=d: split_from_profile(cfg, forest, d.block, profile,
+                                               style=heur.split_style),
+                skip_exceptions=(SplitNotApplicable,))
+        if box.last_ok:
             result.splits_applied += 1
-        except SplitNotApplicable:
-            continue
     if result.splits_applied:
         forest = LoopForest(cfg)
 
@@ -104,29 +180,51 @@ def compile_proposed(prog: Program,
     for d in plan.by_action("ifconvert"):
         if d.block not in cfg._by_id:
             continue
-        if if_convert_diamond(cfg, d.block) is not None:
+        converted = box.run(f"ifconvert@bb{d.block}",
+                            lambda d=d: if_convert_diamond(cfg, d.block))
+        if converted is not None:
             result.ifconverts_applied += 1
 
     # 3. Branch-likely conversion — the global pass also covers clones via
     #    their profile linkage; the Figure 6 "likely" decisions are a
     #    subset of what it converts.
     if heur.enable_likely:
-        result.likely_report = apply_branch_likely(cfg, profile)
+        result.likely_report = box.run(
+            "likely", lambda: apply_branch_likely(cfg, profile))
 
     # 4. Profile-prioritized speculation + local scheduling.
-    profile.annotate(cfg)
+    box.run("annotate", lambda: profile.annotate(cfg))
     if heur.enable_speculation:
-        result.region_report = schedule_region(
-            cfg, model, bias_threshold=heur.speculation_bias,
-            max_moves_per_block=heur.max_moves_per_block,
-            profile=profile, mispredict_window=heur.mispredict_penalty)
+        result.region_report = box.run(
+            "speculate",
+            lambda: schedule_region(
+                cfg, model, bias_threshold=heur.speculation_bias,
+                max_moves_per_block=heur.max_moves_per_block,
+                profile=profile, mispredict_window=heur.mispredict_penalty))
     else:
-        eliminate_dead_code(cfg)
-        for bb in cfg.blocks:
-            if bb.instructions:
-                reorder_block(bb, model)
+        def _cleanup() -> None:
+            eliminate_dead_code(cfg)
+            for bb in cfg.blocks:
+                if bb.instructions:
+                    reorder_block(bb, model)
+        box.run("cleanup", _cleanup)
 
-    result.program = cfg.to_program(prog.name + ".proposed")
+    result.failures = box.failures
+
+    # 5. Emission + final whole-program verification; degrade on failure.
+    try:
+        out = cfg.to_program(prog.name + ".proposed")
+        if verify:
+            violations = verify_program(out)
+            if violations:
+                raise VerificationError(violations, name=out.name)
+    except Exception as exc:  # noqa: BLE001
+        result.failures.append(PassFailure(
+            stage="emit", kind="exception" if not isinstance(
+                exc, VerificationError) else "verify",
+            reason=f"{type(exc).__name__}: {exc}"))
+        return _fallback_result(prog, model, result)
+    result.program = out
     return result
 
 

@@ -1,6 +1,9 @@
 """Experiment harness: the paper's three-scheme comparison and Tables 1-4."""
 
-from .runner import SCHEMES, BenchmarkRun, SchemeResult, run_benchmark, run_suite
+from .runner import (
+    SCHEMES, BenchmarkRun, SchemeResult, run_benchmark, run_suite,
+    suite_failures,
+)
 from .paper_data import (
     PAPER_TABLE1, PAPER_TABLE3_BR, PAPER_TABLE4_IPC, format_shape_verdicts,
     shape_verdicts,
@@ -16,6 +19,7 @@ __all__ = [
     "format_shape_verdicts", "shape_verdicts",
     "render_report", "write_report",
     "SCHEMES", "BenchmarkRun", "SchemeResult", "run_benchmark", "run_suite",
+    "suite_failures",
     "PAPER_ORDER", "format_improvements", "format_table1", "format_table2",
     "format_table3", "format_table4", "table1", "table2", "table3", "table4",
 ]

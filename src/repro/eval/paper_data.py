@@ -52,6 +52,8 @@ def shape_verdicts(runs: Mapping[str, BenchmarkRun]) -> list[dict]:
     for name, run in runs.items():
         if name not in PAPER_TABLE4_IPC:
             continue
+        if not run.ok:  # failed cells cannot be shape-compared
+            continue
         measured_ipc = {s: run[s].stats.ipc for s in SCHEMES}
         paper_ipc = PAPER_TABLE4_IPC[name]
         measured_br = {s: run[s].stats.queue_full_pct("br") for s in SCHEMES}

@@ -54,7 +54,9 @@ def render_report(runs: Mapping[str, BenchmarkRun],
     parts.append("")
     parts.append(_md_table(
         ["benchmark", "dynamic instrs", "branch %", "predicted %"],
-        [[r["benchmark"], f"{r['dynamic_instructions']:,}",
+        [[r["benchmark"], f"FAIL({r['FAIL']})", "—", "—"]
+         if "FAIL" in r else
+         [r["benchmark"], f"{r['dynamic_instructions']:,}",
           f"{r['branch_pct']:.2f}", f"{r['predicted_pct']:.2f}"]
          for r in table1(runs)]))
     parts.append("")
@@ -75,8 +77,11 @@ def render_report(runs: Mapping[str, BenchmarkRun],
     for r in table3(runs):
         row = [r["benchmark"]]
         for s in SCHEMES:
-            row += [f"{r[s]['BR']:.2f}", f"{r[s]['LDST']:.2f}",
-                    f"{r[s]['ALU']:.2f}"]
+            if "FAIL" in r[s]:
+                row += [f"FAIL({r[s]['FAIL']})", "—", "—"]
+            else:
+                row += [f"{r[s]['BR']:.2f}", f"{r[s]['LDST']:.2f}",
+                        f"{r[s]['ALU']:.2f}"]
         rows.append(row)
     parts.append(_md_table(headers, rows))
     parts.append("")
@@ -90,8 +95,11 @@ def render_report(runs: Mapping[str, BenchmarkRun],
     for r in table4(runs):
         row = [r["benchmark"]]
         for s in SCHEMES:
-            row += [f"{r[s]['ALU']:.2f}", f"{r[s]['LDST']:.2f}",
-                    f"{r[s]['SFT']:.2f}", f"{r[s]['IPC']:.3f}"]
+            if "FAIL" in r[s]:
+                row += [f"FAIL({r[s]['FAIL']})", "—", "—", "—"]
+            else:
+                row += [f"{r[s]['ALU']:.2f}", f"{r[s]['LDST']:.2f}",
+                        f"{r[s]['SFT']:.2f}", f"{r[s]['IPC']:.3f}"]
         rows.append(row)
     parts.append(_md_table(headers, rows))
     parts.append("")

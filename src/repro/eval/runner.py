@@ -7,10 +7,19 @@ The paper's Tables 3 and 4 compare, per benchmark:
    execution + branch-likelies + prioritized speculation) *in addition to*
    the same 2-bit prediction;
 3. ``PerfectBP``   — native code, perfect prediction (theoretical bound).
+
+Suite isolation
+---------------
+Each (benchmark, scheme) cell runs in containment: a cell that raises is
+retried once (transient allocator/recursion issues), then recorded as a
+*failed cell* — ``SchemeResult.failure`` holds the classified reason and
+the tables render ``FAIL(<reason>)`` instead of the whole run aborting.
+``strict=True`` restores fail-fast for debugging.
 """
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -26,16 +35,30 @@ from ..workloads import benchmark_programs
 #: Scheme names in the paper's column order.
 SCHEMES = ("2bitBP", "Proposed", "PerfectBP")
 
+#: Per-cell retry count before a failure is recorded (transient faults).
+CELL_RETRIES = 1
+
 
 @dataclass
 class SchemeResult:
-    """One (benchmark, scheme) cell of the evaluation."""
+    """One (benchmark, scheme) cell of the evaluation.
+
+    A failed cell carries ``failure`` (one-line reason) instead of stats;
+    check :attr:`ok` before dereferencing ``stats``/``exec_stats``.
+    """
 
     benchmark: str
     scheme: str
-    stats: SimStats
-    exec_stats: ExecStats
+    stats: Optional[SimStats] = None
+    exec_stats: Optional[ExecStats] = None
     compile_result: Optional[CompileResult] = None
+    failure: Optional[str] = None
+    failure_detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell produced statistics."""
+        return self.failure is None and self.stats is not None
 
 
 @dataclass
@@ -49,10 +72,33 @@ class BenchmarkRun:
         return self.results[scheme]
 
     @property
+    def ok(self) -> bool:
+        """True when every scheme cell produced statistics."""
+        return all(r.ok for r in self.results.values())
+
+    @property
+    def failures(self) -> list[SchemeResult]:
+        """The failed cells of this benchmark (empty when clean)."""
+        return [r for r in self.results.values() if not r.ok]
+
+    @property
     def improvement(self) -> float:
-        """Proposed-over-2bitBP IPC ratio (the paper's headline metric)."""
-        return (self.results["Proposed"].stats.ipc
-                / self.results["2bitBP"].stats.ipc)
+        """Proposed-over-2bitBP IPC ratio (the paper's headline metric).
+
+        ``nan`` when either cell failed — failed cells poison ratios, not
+        the whole report.
+        """
+        prop, base = self.results.get("Proposed"), self.results.get("2bitBP")
+        if prop is None or base is None or not (prop.ok and base.ok):
+            return float("nan")
+        return prop.stats.ipc / base.stats.ipc
+
+
+def _short_reason(exc: BaseException) -> str:
+    """One-line classification of a cell failure for table rendering."""
+    text = str(exc).splitlines()[0] if str(exc) else ""
+    name = type(exc).__name__
+    return f"{name}: {text}"[:80] if text else name
 
 
 def _run(prog: Program, config: MachineConfig,
@@ -63,22 +109,59 @@ def _run(prog: Program, config: MachineConfig,
     return stats, fsim.stats
 
 
+def _run_cell(benchmark: str, scheme: str, fn: Callable[[], SchemeResult],
+              strict: bool, retries: int = CELL_RETRIES) -> SchemeResult:
+    """Execute one cell with retry-once and failure capture."""
+    last: Optional[BaseException] = None
+    for _ in range(retries + 1):
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            if strict:
+                raise
+            last = exc
+    detail = "".join(traceback.format_exception(
+        type(last), last, last.__traceback__)[-4:])
+    return SchemeResult(benchmark, scheme, failure=_short_reason(last),
+                        failure_detail=detail)
+
+
 def run_benchmark(name: str, prog: Program,
                   heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
                   config_overrides: Optional[dict] = None,
-                  max_steps: int = 50_000_000) -> BenchmarkRun:
-    """Run the three schemes on one benchmark program."""
+                  max_steps: int = 50_000_000,
+                  strict: bool = False) -> BenchmarkRun:
+    """Run the three schemes on one benchmark program.
+
+    With ``strict=False`` (default) a crashing cell is retried once and
+    then recorded as failed; with ``strict=True`` the exception propagates.
+    """
     overrides = config_overrides or {}
-    base = compile_baseline(prog)
-    prop = compile_proposed(prog, heur=heur, max_steps=max_steps)
     run = BenchmarkRun(name=name)
 
-    st, ex = _run(base.program, r10k_config("twobit", **overrides), max_steps)
-    run.results["2bitBP"] = SchemeResult(name, "2bitBP", st, ex, base)
-    st, ex = _run(prop.program, r10k_config("twobit", **overrides), max_steps)
-    run.results["Proposed"] = SchemeResult(name, "Proposed", st, ex, prop)
-    st, ex = _run(base.program, r10k_config("perfect", **overrides), max_steps)
-    run.results["PerfectBP"] = SchemeResult(name, "PerfectBP", st, ex, base)
+    # Compiles are shared across cells; a failed compile fails only the
+    # cells that need its output.
+    compiles: dict[str, Optional[CompileResult]] = {}
+
+    def _compiled(kind: str) -> CompileResult:
+        if kind not in compiles:
+            compiles[kind] = compile_baseline(prog) if kind == "base" \
+                else compile_proposed(prog, heur=heur, max_steps=max_steps)
+        return compiles[kind]
+
+    def _cell(scheme: str, kind: str, predictor: str) -> SchemeResult:
+        cr = _compiled(kind)
+        st, ex = _run(cr.program, r10k_config(predictor, **overrides),
+                      max_steps)
+        return SchemeResult(name, scheme, st, ex, cr)
+
+    for scheme, kind, predictor in (("2bitBP", "base", "twobit"),
+                                    ("Proposed", "prop", "twobit"),
+                                    ("PerfectBP", "base", "perfect")):
+        run.results[scheme] = _run_cell(
+            name, scheme,
+            lambda s=scheme, k=kind, p=predictor: _cell(s, k, p),
+            strict=strict)
     return run
 
 
@@ -87,18 +170,39 @@ def run_suite(scale: float = 1.0,
               benchmarks: Optional[dict[str, Program]] = None,
               config_overrides: Optional[dict] = None,
               progress: Optional[Callable[[str], None]] = None,
-              max_steps: int = 50_000_000) -> dict[str, BenchmarkRun]:
+              max_steps: int = 50_000_000,
+              strict: bool = False) -> dict[str, BenchmarkRun]:
     """Run the full benchmark suite through all three schemes.
 
     Returns ``{benchmark: BenchmarkRun}`` in the paper's benchmark order.
+    A benchmark whose *construction* fails is recorded as a run whose three
+    cells all failed (unless ``strict``); cell-level failures are handled
+    by :func:`run_benchmark`.
     """
-    programs = benchmarks if benchmarks is not None \
-        else benchmark_programs(scale)
+    if benchmarks is not None:
+        programs = benchmarks
+    else:
+        programs = benchmark_programs(scale)
     out: dict[str, BenchmarkRun] = {}
     for name, prog in programs.items():
         if progress:
             progress(name)
-        out[name] = run_benchmark(name, prog, heur=heur,
-                                  config_overrides=config_overrides,
-                                  max_steps=max_steps)
+        try:
+            out[name] = run_benchmark(name, prog, heur=heur,
+                                      config_overrides=config_overrides,
+                                      max_steps=max_steps, strict=strict)
+        except Exception as exc:  # noqa: BLE001
+            if strict:
+                raise
+            reason = _short_reason(exc)
+            out[name] = BenchmarkRun(name=name, results={
+                s: SchemeResult(name, s, failure=reason) for s in SCHEMES})
+    return out
+
+
+def suite_failures(runs: dict[str, BenchmarkRun]) -> list[SchemeResult]:
+    """All failed cells across a suite run, in benchmark order."""
+    out: list[SchemeResult] = []
+    for run in runs.values():
+        out.extend(run.failures)
     return out

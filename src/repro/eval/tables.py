@@ -21,6 +21,14 @@ def _ordered(runs: Mapping[str, BenchmarkRun]) -> list[str]:
     return known + extra
 
 
+def _fail_cell(reason: str, width: int) -> str:
+    """Render a failed cell as ``FAIL(<reason>)`` fitted to *width*."""
+    text = f"FAIL({reason})"
+    if len(text) > width:
+        text = text[:width - 4] + "...)"
+    return f"{text:>{width}}"
+
+
 # ---------------------------------------------------------------------------
 # Table 1: benchmark characteristics
 # ---------------------------------------------------------------------------
@@ -36,6 +44,9 @@ def table1(runs: Mapping[str, BenchmarkRun]) -> list[dict]:
     rows = []
     for name in _ordered(runs):
         r = runs[name]["2bitBP"]
+        if not r.ok:
+            rows.append({"benchmark": name, "FAIL": r.failure or "unknown"})
+            continue
         ex = r.exec_stats
         control = ex.branches + ex.jumps
         rows.append({
@@ -55,6 +66,10 @@ def format_table1(runs: Mapping[str, BenchmarkRun]) -> str:
         f"{'':<12} {'instrs':>12} {'instrs %':>10} {'predicted %':>12}",
     ]
     for row in table1(runs):
+        if "FAIL" in row:
+            lines.append(f"{row['benchmark']:<12} "
+                         + _fail_cell(row["FAIL"], 36))
+            continue
         lines.append(
             f"{row['benchmark']:<12} {row['dynamic_instructions']:>12,} "
             f"{row['branch_pct']:>10.2f} {row['predicted_pct']:>12.2f}")
@@ -101,7 +116,11 @@ def table3(runs: Mapping[str, BenchmarkRun]) -> list[dict]:
     for name in _ordered(runs):
         row: dict = {"benchmark": name}
         for scheme in SCHEMES:
-            st = runs[name][scheme].stats
+            r = runs[name][scheme]
+            if not r.ok:
+                row[scheme] = {"FAIL": r.failure or "unknown"}
+                continue
+            st = r.stats
             row[scheme] = {
                 "BR": st.queue_full_pct("br"),
                 "LDST": st.queue_full_pct("ldst"),
@@ -124,6 +143,9 @@ def format_table3(runs: Mapping[str, BenchmarkRun]) -> str:
         cells = []
         for scheme in SCHEMES:
             c = row[scheme]
+            if "FAIL" in c:
+                cells.append(_fail_cell(c["FAIL"], 23))
+                continue
             cells.append(f"{c['BR']:>7.2f}{c['LDST']:>8.2f}{c['ALU']:>8.2f}")
         lines.append(f"{row['benchmark']:<12} | " + " | ".join(cells))
     return "\n".join(lines)
@@ -141,7 +163,11 @@ def table4(runs: Mapping[str, BenchmarkRun]) -> list[dict]:
     for name in _ordered(runs):
         row: dict = {"benchmark": name}
         for scheme in SCHEMES:
-            st = runs[name][scheme].stats
+            r = runs[name][scheme]
+            if not r.ok:
+                row[scheme] = {"FAIL": r.failure or "unknown"}
+                continue
+            st = r.stats
             row[scheme] = {
                 "ALU": st.unit_full_pct("alu"),
                 "LDST": st.unit_full_pct("ldst"),
@@ -165,6 +191,9 @@ def format_table4(runs: Mapping[str, BenchmarkRun]) -> str:
         cells = []
         for scheme in SCHEMES:
             c = row[scheme]
+            if "FAIL" in c:
+                cells.append(_fail_cell(c["FAIL"], 30))
+                continue
             cells.append(f"{c['ALU']:>7.2f}{c['LDST']:>8.2f}"
                          f"{c['SFT']:>8.2f}{c['IPC']:>7.3f}")
         lines.append(f"{row['benchmark']:<12} | " + " | ".join(cells))
@@ -176,15 +205,23 @@ def format_improvements(runs: Mapping[str, BenchmarkRun]) -> str:
     lines = ["IPC improvement over the 2-bit baseline",
              f"{'Benchmark':<12} {'Proposed':>10} {'Perfect':>10}"]
     ratios = []
+    failed = 0
     for name in _ordered(runs):
         r = runs[name]
+        if not r.ok:
+            reason = r.failures[0].failure or "unknown"
+            lines.append(f"{name:<12} {_fail_cell(reason, 21)}")
+            failed += 1
+            continue
         prop = r.improvement
         perf = r["PerfectBP"].stats.ipc / r["2bitBP"].stats.ipc
         ratios.append(prop)
         lines.append(f"{name:<12} {prop:>9.2f}x {perf:>9.2f}x")
     if ratios:
         lines.append(f"{'geo-mean':<12} "
-                     f"{(_geomean(ratios)):>9.2f}x")
+                     f"{(_geomean(ratios)):>9.2f}x"
+                     + (f"   ({failed} benchmark(s) FAILED, excluded)"
+                        if failed else ""))
     return "\n".join(lines)
 
 

@@ -1,0 +1,38 @@
+"""Crash containment for the compile/simulate stack.
+
+Four cooperating layers (see ``docs/ROBUSTNESS.md``):
+
+* :mod:`~repro.robust.verifier` — static IR invariants, checked after
+  every pass;
+* :mod:`~repro.robust.sandbox` — per-pass snapshot/rollback so a crashing
+  or invariant-breaking pass degrades the compile instead of killing it;
+* :mod:`~repro.robust.diffcheck` — bounded co-simulation proving the
+  transformed program preserves architectural behavior;
+* :mod:`~repro.robust.faults` — the fault-injection taxonomy that proves
+  the other three layers actually catch what they claim to.
+"""
+
+from .verifier import (
+    VerificationError, Violation, assert_valid, verify_cfg, verify_program,
+)
+from .sandbox import (
+    FAILURE_KINDS, PassFailure, PassSandbox, restore_cfg, snapshot_cfg,
+)
+from .diffcheck import (
+    DiffReport, EquivalenceError, certify, check_equivalence,
+)
+from .faults import (
+    ALL_FAULTS, CLOBBER_VALUE, FaultClass, PASS_FAULTS, PROFILE_FAULTS,
+    PROGRAM_FAULTS, buggy_pass, corrupt_profile, inject_program_fault,
+)
+
+__all__ = [
+    "VerificationError", "Violation", "assert_valid", "verify_cfg",
+    "verify_program",
+    "FAILURE_KINDS", "PassFailure", "PassSandbox", "restore_cfg",
+    "snapshot_cfg",
+    "DiffReport", "EquivalenceError", "certify", "check_equivalence",
+    "ALL_FAULTS", "CLOBBER_VALUE", "FaultClass", "PASS_FAULTS",
+    "PROFILE_FAULTS", "PROGRAM_FAULTS", "buggy_pass", "corrupt_profile",
+    "inject_program_fault",
+]

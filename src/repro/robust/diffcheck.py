@@ -1,0 +1,178 @@
+"""Differential checker: transformed programs must behave like the original.
+
+Runs the :class:`~repro.sim.functional.FunctionalSim` on the original and
+the transformed program and compares the architectural outcome:
+
+* **memory** — the complete final memory image (every page either program
+  touched);
+* **halt / trap behavior** — both programs must halt the same way; a
+  transformed program that diverges (PC out of range), faults (alignment
+  trap), or blows the step-budget watchdog is reported with the failing PC
+  and step count instead of hanging the caller;
+* **registers** — off by default because software renaming legitimately
+  retargets destination registers (paper Section 1: speculated destinations
+  are renamed "from the pool of free registers"); pass ``registers=`` to
+  compare an explicit live-out subset.
+
+The watchdog budget for the transformed run is proportional to the
+original's dynamic length (``step_ratio``), so a transformed program stuck
+in an infinite loop produces a bounded, classified failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..isa.program import Program
+from ..sim.functional import ExecStats, FunctionalSim, SimulationError
+from ..sim.memory import Memory
+
+#: Minimum transformed-run step budget, regardless of original length.
+MIN_BUDGET = 10_000
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential check."""
+
+    equivalent: bool
+    reason: str = ""                   # empty when equivalent
+    original_steps: int = 0
+    transformed_steps: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def __str__(self) -> str:
+        if self.equivalent:
+            return (f"equivalent ({self.original_steps} vs "
+                    f"{self.transformed_steps} steps)")
+        lines = [f"NOT equivalent: {self.reason}"]
+        lines += [f"  {m}" for m in self.mismatches[:8]]
+        return "\n".join(lines)
+
+
+def _nonzero_image(mem: Memory) -> dict[int, bytes]:
+    """Final memory as {page_number: content} with all-zero pages dropped
+    (untouched memory reads as zero, so zero pages are not observable)."""
+    out: dict[int, bytes] = {}
+    for pno, page in mem._pages.items():
+        if any(page):
+            out[pno] = bytes(page)
+    return out
+
+
+def _first_diff(a: bytes, b: bytes, base: int) -> str:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return f"mem[0x{base + i:08X}]: {x:#04x} != {y:#04x}"
+    return f"mem page at 0x{base:08X} differs in length"
+
+
+def _run(prog: Program, max_steps: int) -> tuple[FunctionalSim,
+                                                 Optional[str]]:
+    """Execute *prog*; return (sim, failure reason or None)."""
+    try:
+        sim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=False)
+    except Exception as exc:  # noqa: BLE001 - load-time corruption
+        raise _LoadError(f"{type(exc).__name__}: {exc}") from exc
+    try:
+        sim.run()
+        return sim, None
+    except SimulationError as exc:
+        return sim, (f"{type(exc).__name__} at pc={exc.pc} after "
+                     f"{exc.steps} steps: {exc}")
+    except Exception as exc:  # noqa: BLE001 - e.g. AlignmentError trap
+        return sim, (f"{type(exc).__name__} at pc={sim.pc} after "
+                     f"{sim.stats.steps} steps: {exc}")
+
+
+class _LoadError(Exception):
+    """Program could not even be loaded into the simulator."""
+
+
+def check_equivalence(original: Program, transformed: Program, *,
+                      max_steps: int = 20_000_000, step_ratio: float = 8.0,
+                      registers: Sequence[str] = ()) -> DiffReport:
+    """Co-simulate *original* and *transformed*; compare final outcomes.
+
+    The original is trusted: if it fails to halt within *max_steps* the
+    check is inconclusive and reported as non-equivalent with an
+    ``original:`` reason (callers treat that as "cannot certify").
+    """
+    try:
+        ref, ref_fail = _run(original, max_steps)
+    except _LoadError as exc:
+        return DiffReport(False, reason=f"original failed to load: {exc}")
+    if ref_fail is not None:
+        return DiffReport(False, reason=f"original: {ref_fail}",
+                          original_steps=ref.stats.steps)
+
+    budget = min(max_steps, max(MIN_BUDGET,
+                                int(ref.stats.steps * step_ratio)))
+    try:
+        out, out_fail = _run(transformed, budget)
+    except _LoadError as exc:
+        return DiffReport(False, reason=f"transformed failed to load: {exc}",
+                          original_steps=ref.stats.steps)
+    if out_fail is not None:
+        return DiffReport(False, reason=f"transformed: {out_fail}",
+                          original_steps=ref.stats.steps,
+                          transformed_steps=out.stats.steps)
+
+    report = DiffReport(True, original_steps=ref.stats.steps,
+                        transformed_steps=out.stats.steps)
+    # Jump-table words (code_refs) hold *code addresses* that the loader
+    # re-resolves against each program's own label layout: they differ
+    # between layouts by design and are not architectural state.
+    skip = {a + k for a in (set(original.code_refs) | set(transformed.code_refs))
+            for k in range(4)}
+    _compare_outcomes(ref, out, registers, report, skip)
+    return report
+
+
+def _compare_outcomes(ref: FunctionalSim, out: FunctionalSim,
+                      registers: Sequence[str], report: DiffReport,
+                      skip: frozenset | set = frozenset()) -> None:
+    if ref.stats.halted != out.stats.halted:
+        report.equivalent = False
+        report.mismatches.append(
+            f"halted: {ref.stats.halted} != {out.stats.halted}")
+    ref_mem = _nonzero_image(ref.mem)
+    out_mem = _nonzero_image(out.mem)
+    for pno in sorted(set(ref_mem) | set(out_mem)):
+        base = pno << 12
+        a = bytearray(ref_mem.get(pno, bytes(4096)))
+        b = bytearray(out_mem.get(pno, bytes(4096)))
+        for addr in skip:
+            if base <= addr < base + 4096:
+                a[addr - base] = b[addr - base] = 0
+        if a != b:
+            report.equivalent = False
+            report.mismatches.append(_first_diff(bytes(a), bytes(b), base))
+    for reg in registers:
+        a = ref.regs.get(reg, ref.ccregs.get(reg))
+        b = out.regs.get(reg, out.ccregs.get(reg))
+        if a != b:
+            report.equivalent = False
+            report.mismatches.append(f"{reg}: {a!r} != {b!r}")
+    if not report.equivalent and not report.reason:
+        report.reason = (f"{len(report.mismatches)} architectural "
+                         f"mismatch(es); first: {report.mismatches[0]}")
+
+
+def certify(original: Program, transformed: Program, **kw) -> None:
+    """Raise :class:`EquivalenceError` unless the programs match."""
+    report = check_equivalence(original, transformed, **kw)
+    if not report:
+        raise EquivalenceError(report)
+
+
+class EquivalenceError(AssertionError):
+    """A differential check failed; ``.report`` holds the full diagnosis."""
+
+    def __init__(self, report: DiffReport):
+        self.report = report
+        super().__init__(str(report))

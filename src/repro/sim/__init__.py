@@ -3,7 +3,8 @@
 from .config import Latencies, MachineConfig, R10K, r10k_config
 from .memory import AlignmentError, Memory
 from .functional import (
-    ExecStats, ExecutionLimitExceeded, FunctionalSim, TraceEntry, final_state,
+    ExecStats, ExecutionLimitExceeded, FunctionalSim, SimulationDiverged,
+    SimulationError, StepBudgetExceeded, TraceEntry, final_state,
     run_program, to_signed, to_unsigned,
 )
 from .branch_pred import (
@@ -17,8 +18,9 @@ from .pipeline import TimingSim, simulate
 __all__ = [
     "Latencies", "MachineConfig", "R10K", "r10k_config",
     "AlignmentError", "Memory",
-    "ExecStats", "ExecutionLimitExceeded", "FunctionalSim", "TraceEntry",
-    "final_state", "run_program", "to_signed", "to_unsigned",
+    "ExecStats", "ExecutionLimitExceeded", "FunctionalSim",
+    "SimulationDiverged", "SimulationError", "StepBudgetExceeded",
+    "TraceEntry", "final_state", "run_program", "to_signed", "to_unsigned",
     "BranchPredictor", "PerfectPredictor", "PredictorStats",
     "StaticTakenPredictor", "TwoBitPredictor", "TwoLevelPredictor",
     "make_predictor",

@@ -96,8 +96,38 @@ class ExecStats:
         return self.branches / self.steps if self.steps else 0.0
 
 
-class ExecutionLimitExceeded(RuntimeError):
+class SimulationError(RuntimeError):
+    """Base class for classified functional-simulation failures.
+
+    Carries the program counter and step count at the point of failure so
+    the sandbox and differential checker (:mod:`repro.robust`) can report
+    *where* a transformed program went wrong, not just that it did.
+    """
+
+    def __init__(self, message: str, pc: int = -1, steps: int = 0):
+        super().__init__(message)
+        self.pc = pc
+        self.steps = steps
+
+
+class ExecutionLimitExceeded(SimulationError):
     """The program did not halt within ``max_steps``."""
+
+
+class StepBudgetExceeded(ExecutionLimitExceeded):
+    """The step-budget watchdog fired: the program ran too long.
+
+    Subclasses :class:`ExecutionLimitExceeded` so existing callers keep
+    working; new code should catch this (or :class:`SimulationError`).
+    """
+
+
+class SimulationDiverged(SimulationError):
+    """Control flow escaped the program (PC left ``[0, len)``).
+
+    Typically the result of a corrupted branch/jump target or a ``jr``
+    through a register holding a non-code value.
+    """
 
 
 class FunctionalSim:
@@ -148,10 +178,14 @@ class FunctionalSim:
         stats = self.stats
         while True:
             if stats.steps >= self.max_steps:
-                raise ExecutionLimitExceeded(
-                    f"exceeded {self.max_steps} steps at pc={self.pc}")
+                raise StepBudgetExceeded(
+                    f"exceeded {self.max_steps} steps at pc={self.pc}",
+                    pc=self.pc, steps=stats.steps)
             if not 0 <= self.pc < n:
-                raise RuntimeError(f"pc out of range: {self.pc}")
+                raise SimulationDiverged(
+                    f"pc out of range: {self.pc} (program has {n} "
+                    f"instructions, {stats.steps} steps executed)",
+                    pc=self.pc, steps=stats.steps)
             ins = prog[self.pc]
             self.index_counts[self.pc] += 1
             entry = self._execute(ins)

@@ -1,0 +1,109 @@
+"""Every fault class in the taxonomy is caught by its containment layer.
+
+One parametrized test per injected fault class:
+
+* program faults expected at the **verifier** must be flagged statically
+  on every candidate;
+* program faults expected at **diffcheck** must diverge on at least one
+  candidate (a candidate diffcheck proves equivalent changed nothing
+  observable);
+* **profile** faults must be tolerated: the compile still emits verified,
+  architecturally equivalent code;
+* **pass** faults must be contained by the sandbox, and the rolled-back
+  CFG must still linearize to a runnable program equivalent to the
+  original.
+"""
+
+import random
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.core import compile_proposed
+from repro.isa import parse
+from repro.profilefb import ProfileDB
+from repro.robust import (
+    PASS_FAULTS, PROFILE_FAULTS, PROGRAM_FAULTS, PassSandbox, buggy_pass,
+    check_equivalence, corrupt_profile, inject_program_fault, verify_program,
+)
+from repro.sim import FunctionalSim
+
+# Deterministic victim with an injection site for every program fault
+# class: a taken branch, a non-commutative op on distinct executed
+# registers, stores that make corruption observable, and a trailing halt.
+VICTIM = """.text
+main:
+    li   r1, 10
+    li   r2, 3
+    li   r10, 0x50000
+    sub  r3, r1, r2
+    beq  r2, r2, skip
+    sub  r4, r2, r1
+    j    done
+skip:
+    add  r4, r1, r2
+done:
+    sw   r3, 0(r10)
+    sw   r4, 4(r10)
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return parse(VICTIM, name="victim")
+
+
+@pytest.fixture(scope="module")
+def counts(victim):
+    sim = FunctionalSim(victim, record_outcomes=False)
+    sim.run()
+    return sim.index_counts
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, (fc, _) in PROGRAM_FAULTS.items()
+             if fc.detector == "verifier"])
+def test_verifier_fault_caught_statically(name, victim, counts):
+    candidates = list(inject_program_fault(name, victim, random.Random(0),
+                                           counts))
+    assert candidates, f"{name}: no injection site in the victim program"
+    for bad in candidates:
+        assert verify_program(bad), \
+            f"{name}: corrupted program passed the verifier"
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, (fc, _) in PROGRAM_FAULTS.items()
+             if fc.detector == "diffcheck"])
+def test_semantic_fault_caught_by_diffcheck(name, victim, counts):
+    candidates = list(inject_program_fault(name, victim, random.Random(0),
+                                           counts))
+    assert candidates, f"{name}: no injection site in the victim program"
+    flagged = sum(
+        bool(verify_program(bad))
+        or not check_equivalence(victim, bad, max_steps=100_000)
+        for bad in candidates)
+    assert flagged, f"{name}: no corrupted candidate was detected"
+
+
+@pytest.mark.parametrize("name", list(PROFILE_FAULTS))
+def test_profile_fault_tolerated(name, victim):
+    db = corrupt_profile(name, ProfileDB.from_run(victim))
+    result = compile_proposed(victim, profile=db)
+    # Bad feedback may cost performance, never correctness.
+    assert verify_program(result.program) == []
+    assert check_equivalence(victim, result.program)
+
+
+@pytest.mark.parametrize("name", list(PASS_FAULTS))
+def test_pass_fault_contained_with_runnable_fallback(name, victim):
+    cfg = build_cfg(victim)
+    box = PassSandbox(cfg)
+    fn = buggy_pass(name)
+    box.run(name, lambda: fn(cfg))
+    assert box.contained, f"{name}: sandbox recorded no failure"
+    assert box.failures[0].rolled_back
+    restored = cfg.to_program(victim.name + ".restored")
+    assert verify_program(restored) == []
+    assert check_equivalence(victim, restored)

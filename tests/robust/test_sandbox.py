@@ -1,0 +1,103 @@
+"""Pass sandbox: containment, bit-for-bit rollback, skip recording."""
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.isa import format_program, parse
+from repro.isa.instruction import make
+from repro.robust import PassSandbox, restore_cfg, snapshot_cfg
+
+PROG = """.text
+main:
+    li   r1, 5
+    li   r2, 7
+    beq  r1, r2, skip
+    add  r3, r1, r2
+skip:
+    sub  r4, r2, r1
+    halt
+"""
+
+
+class _NotApplicable(Exception):
+    """Stand-in for a pass's legitimate declines (SplitNotApplicable)."""
+
+
+@pytest.fixture
+def cfg():
+    return build_cfg(parse(PROG, name="sandboxed"))
+
+
+def test_success_returns_value_and_records_nothing(cfg):
+    box = PassSandbox(cfg)
+    assert box.run("noop", lambda: 42) == 42
+    assert box.last_ok
+    assert box.failures == []
+    assert not box.contained
+
+
+def test_crash_mid_pass_rolls_back(cfg):
+    before = format_program(cfg.to_program("snap"))
+    bids = [bb.bid for bb in cfg.blocks]
+    box = PassSandbox(cfg)
+
+    def bad_pass():
+        cfg.blocks[0].instructions.insert(0, make("li", "r9", 0xDEAD))
+        raise RuntimeError("pass died after mutating")
+
+    assert box.run("boom", bad_pass) is None
+    assert not box.last_ok
+    assert [f.kind for f in box.failures] == ["exception"]
+    assert "pass died" in box.failures[0].reason
+    assert box.failures[0].detail  # traceback tail captured
+    # Rollback is in place: same block ids, same linearization.
+    assert [bb.bid for bb in cfg.blocks] == bids
+    assert format_program(cfg.to_program("snap")) == before
+
+
+def test_invariant_break_rolls_back(cfg):
+    before = format_program(cfg.to_program("snap"))
+    box = PassSandbox(cfg)
+
+    def drops_taken_edge():
+        for bb in cfg.blocks:
+            if bb.terminator is not None and bb.terminator.is_branch:
+                for e in list(cfg.succ_edges[bb.bid]):
+                    if e.kind == "taken":
+                        cfg.succ_edges[bb.bid].remove(e)
+                        cfg.pred_edges[e.dst].remove(e)
+
+    box.run("edge-dropper", drops_taken_edge)
+    assert [f.kind for f in box.failures] == ["verify"]
+    assert format_program(cfg.to_program("snap")) == before
+
+
+def test_skip_recorded_with_reason(cfg):
+    box = PassSandbox(cfg)
+
+    def declines():
+        raise _NotApplicable("loop body too small to split")
+
+    assert box.run("split@bb1", declines,
+                   skip_exceptions=(_NotApplicable,)) is None
+    assert not box.last_ok
+    assert [f.kind for f in box.failures] == ["skip"]
+    assert "too small" in box.failures[0].reason
+    assert not box.contained  # a recorded skip is not a contained crash
+
+
+def test_snapshot_restore_roundtrip(cfg):
+    snap = snapshot_cfg(cfg)
+    before = format_program(cfg.to_program("snap"))
+    cfg.blocks[0].instructions.insert(0, make("li", "r9", 1))
+    cfg.blocks[-1].instructions.insert(0, make("li", "r9", 2))
+    restore_cfg(cfg, snap)
+    assert format_program(cfg.to_program("snap")) == before
+
+
+def test_later_passes_continue_after_containment(cfg):
+    box = PassSandbox(cfg)
+    box.run("boom", lambda: (_ for _ in ()).throw(RuntimeError("x")))
+    assert box.run("works", lambda: "ok") == "ok"
+    assert box.last_ok
+    assert len(box.failures) == 1

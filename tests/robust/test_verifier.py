@@ -1,0 +1,94 @@
+"""IR verifier: clean pipelines verify clean; every violation class fires."""
+
+import pytest
+
+from repro.core import compile_baseline, compile_proposed
+from repro.isa import parse
+from repro.isa.instruction import Guard
+from repro.isa.randprog import random_program
+from repro.robust import VerificationError, assert_valid, verify_program
+
+TINY = """.text
+main:
+    li   r1, 5
+    li   r2, 7
+    beq  r1, r2, skip
+    add  r3, r1, r2
+skip:
+    halt
+"""
+
+
+def _tiny():
+    return parse(TINY, name="tiny")
+
+
+def test_clean_program_verifies():
+    assert verify_program(_tiny()) == []
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_pipelines_emit_verified_ir(seed):
+    prog = random_program(seed)
+    for result in (compile_baseline(prog), compile_proposed(prog)):
+        assert verify_program(result.program) == []
+
+
+def test_dangling_target_flagged():
+    prog = _tiny()
+    prog.instructions[2].target = ".nowhere"
+    assert any(v.check == "targets" for v in verify_program(prog))
+
+
+def test_label_out_of_range_flagged():
+    prog = _tiny()
+    prog.labels["skip"] = len(prog.instructions) + 7
+    assert any(v.check in ("labels", "targets")
+               for v in verify_program(prog))
+
+
+def test_wrong_register_class_flagged():
+    prog = _tiny()
+    # Mutate behind the Instruction constructor's back, the way a buggy
+    # in-place pass would.
+    prog.instructions[3].srcs = ("r1", "cc0")
+    assert any(v.check == "registers" for v in verify_program(prog))
+
+
+def test_bogus_register_name_flagged():
+    prog = _tiny()
+    prog.instructions[3].srcs = ("r1", "q7")
+    assert any(v.check == "registers" for v in verify_program(prog))
+
+
+def test_stale_guard_flagged():
+    prog = _tiny()
+    prog.instructions[3].guard = Guard("cc3", sense=True)
+    vs = verify_program(prog)
+    assert any(v.check == "guards" for v in vs)
+
+
+def test_defined_guard_accepted():
+    prog = parse(""".text
+main:
+    li     r1, 5
+    li     r2, 7
+    cmplt  cc0, r1, r2
+    (cc0) add r3, r1, r2
+    halt
+""", name="guarded")
+    assert verify_program(prog) == []
+
+
+def test_fall_off_end_flagged():
+    prog = parse(".text\nmain:\n    li r1, 1\n    add r2, r1, r1\n    halt\n",
+                 name="no-halt")
+    prog.instructions.pop()  # a buggy pass dropped the terminator
+    assert any(v.check == "structure" for v in verify_program(prog))
+
+
+def test_assert_valid_raises_with_diagnosis():
+    prog = _tiny()
+    prog.instructions[2].target = ".nowhere"
+    with pytest.raises(VerificationError, match="dangling target"):
+        assert_valid(prog)

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Pre-merge smoke check (documented in docs/ROBUSTNESS.md):
+#   1. the tier-1 test suite;
+#   2. IR verification + differential equivalence of the baseline and
+#      proposed compiles of two benchmarks at small scale;
+#   3. the fault-injection harness (every fault class must be caught).
+#
+# Run from the repository root:  sh tools/smoke.sh
+set -e
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== verify: compress + grep (scale 0.1) =="
+python -m repro verify compress --scale 0.1
+python -m repro verify grep --scale 0.1
+
+echo "== fault injection =="
+python tools/inject_faults.py --scale 0.1
+
+echo "smoke: all green"
