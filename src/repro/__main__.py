@@ -12,7 +12,16 @@ Commands:
   the timing counters;
 * ``verify``  — IR-verify and differentially check the baseline and
   proposed compiles of a benchmark (or ``all``) against the original
-  program: structural invariants plus architectural equivalence.
+  program: structural invariants plus architectural equivalence;
+* ``cache``   — inspect (``stats``) or wipe (``clear``) the engine's
+  content-addressed artifact cache;
+* ``sweep``   — run a declarative design-space sweep and write one JSON
+  record per (point, benchmark, scheme) cell.
+
+``tables`` and ``sweep`` run through :mod:`repro.engine`: results are
+cached in ``.repro-cache/`` (override with ``--cache-dir`` or
+``$REPRO_CACHE_DIR``, disable with ``--no-cache``) and cache misses fan
+out over ``--jobs N`` worker processes.
 """
 
 from __future__ import annotations
@@ -46,9 +55,29 @@ def _load_program(name: str, scale: float) -> Program:
         f"({', '.join(sorted(BENCHMARKS))}) and not a file")
 
 
+def _make_cache(args: argparse.Namespace):
+    """Build the artifact cache from the shared CLI flags (None = off)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from .engine import ArtifactCache
+
+    return ArtifactCache(getattr(args, "cache_dir", None))
+
+
+def _report_cache(store) -> None:
+    """One stderr line of cache traffic (greppable by tools/smoke.sh)."""
+    if store is None:
+        return
+    s = store.stats()
+    print(f"cache: hits={s['hits']} misses={s['misses']} "
+          f"entries={s['entries']}", file=sys.stderr)
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
+    store = _make_cache(args)
     try:
         runs = run_suite(scale=args.scale, strict=args.strict,
+                         jobs=args.jobs, cache=store,
                          progress=lambda b: print(f"running {b} ...",
                                                   file=sys.stderr))
     except Exception as exc:  # noqa: BLE001 - --strict fail-fast exit
@@ -60,18 +89,94 @@ def cmd_tables(args: argparse.Namespace) -> int:
                  format_table3(runs), "", format_table4(runs), "",
                  format_improvements(runs)):
         print(text)
+    _report_cache(store)
     failed = suite_failures(runs)
     for cell in failed:
         print(f"warning: {cell.benchmark}/{cell.scheme} failed: "
               f"{cell.failure}", file=sys.stderr)
     if failed and args.strict:
         return 2
+    if args.json:
+        import json
+
+        from .eval import suite_to_dict
+
+        Path(args.json).write_text(
+            json.dumps(suite_to_dict(runs), indent=2, sort_keys=True) + "\n")
+        print(f"json results written to {args.json}", file=sys.stderr)
     if args.report:
         from .eval import write_report
 
         path = write_report(runs, args.report,
                             title=f"Suite results (scale {args.scale})")
         print(f"markdown report written to {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .engine import ArtifactCache
+
+    store = ArtifactCache(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+        return 0
+    s = store.stats()
+    print(f"cache root : {s['root']}")
+    print(f"entries    : {s['entries']}")
+    print(f"total bytes: {s['total_bytes']}")
+    print(f"max bytes  : {s['max_bytes']}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import SweepSpec, grid_from_dict, run_sweep
+
+    def _parse_axes(pairs: list[str]) -> dict:
+        grid: dict = {}
+        for pair in pairs or []:
+            if "=" not in pair:
+                raise SystemExit(f"bad axis {pair!r}: expected field=v1,v2")
+            name, _, values = pair.partition("=")
+            grid[name] = tuple(_coerce(v) for v in values.split(","))
+        return grid
+
+    def _coerce(text: str):
+        for conv in (int, float):
+            try:
+                return conv(text)
+            except ValueError:
+                continue
+        if text in ("true", "false"):
+            return text == "true"
+        return text
+
+    spec = SweepSpec(
+        scales=tuple(float(s) for s in args.scales.split(",")),
+        config_grid=grid_from_dict(_parse_axes(args.config)),
+        heur_grid=grid_from_dict(_parse_axes(args.heur)),
+        benchmarks=(tuple(args.benchmarks.split(","))
+                    if args.benchmarks else None),
+        max_steps=args.max_steps,
+        seed=args.seed)
+    try:
+        spec.validate()
+    except ValueError as exc:
+        raise SystemExit(f"invalid sweep: {exc}")
+    store = _make_cache(args)
+    records = run_sweep(
+        spec, jobs=args.jobs, cache=store,
+        progress=lambda msg: print(msg, file=sys.stderr))
+    text = json.dumps(records, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"{len(records)} records written to {args.out}",
+              file=sys.stderr)
+    else:
+        print(text, end="")
+    _report_cache(store)
     return 0
 
 
@@ -146,16 +251,58 @@ def main(argv: list[str] | None = None) -> int:
         description="Srinivas & Nicolau (IPPS 1998) reproduction toolkit")
     sub = ap.add_subparsers(dest="command", required=True)
 
+    def _engine_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for cache misses (default 1 "
+                            "= in-process)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache for this run")
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact cache directory (default "
+                            ".repro-cache/ or $REPRO_CACHE_DIR)")
+
     p = sub.add_parser("tables", help="regenerate Tables 1-4")
     p.add_argument("--scale", type=float, default=1.0,
                    help="workload scale factor (default 1.0)")
     p.add_argument("--report", metavar="FILE",
                    help="also write a markdown report to FILE")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write machine-readable results to FILE")
     p.add_argument("--strict", action="store_true",
                    help="fail fast: abort (exit nonzero) on the first "
                         "failed benchmark/scheme cell instead of rendering "
                         "FAIL cells")
+    _engine_flags(p)
     p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    p.add_argument("action", choices=["stats", "clear"],
+                   help="stats: print cache size/contents; clear: wipe it")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="artifact cache directory (default .repro-cache/ "
+                        "or $REPRO_CACHE_DIR)")
+    p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "sweep", help="run a design-space sweep, one JSON record per cell")
+    p.add_argument("--scales", default="1.0", metavar="S1,S2",
+                   help="comma-separated workload scale factors")
+    p.add_argument("--config", action="append", metavar="FIELD=V1,V2",
+                   help="MachineConfig axis (repeatable), e.g. "
+                        "--config fetch_width=2,4,8")
+    p.add_argument("--heur", action="append", metavar="FIELD=V1,V2",
+                   help="FeedbackHeuristics axis (repeatable), e.g. "
+                        "--heur speculation_bias=0.5,0.65,0.8")
+    p.add_argument("--benchmarks", metavar="B1,B2",
+                   help="restrict to these benchmarks (default: all)")
+    p.add_argument("--max-steps", type=int, default=50_000_000,
+                   help="per-cell functional step budget")
+    p.add_argument("--seed", type=int, default=None,
+                   help="master seed for the synthetic workload inputs")
+    p.add_argument("--out", metavar="FILE",
+                   help="write records to FILE instead of stdout")
+    _engine_flags(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("profile", help="print a program's feedback metrics")
     p.add_argument("program", help="benchmark name or .s file")

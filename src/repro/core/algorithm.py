@@ -52,6 +52,21 @@ class Decision:
     direction: str       # "forward" | "backward"
     estimated_gain: float = 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (engine artifact-cache payload)."""
+        return {"block": self.block, "branch_uid": self.branch_uid,
+                "action": self.action, "reason": self.reason,
+                "direction": self.direction,
+                "estimated_gain": self.estimated_gain}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Decision":
+        """Inverse of :meth:`to_dict`."""
+        return cls(block=d["block"], branch_uid=d["branch_uid"],
+                   action=d["action"], reason=d["reason"],
+                   direction=d["direction"],
+                   estimated_gain=d["estimated_gain"])
+
 
 @dataclass
 class DecisionPlan:
@@ -66,6 +81,32 @@ class DecisionPlan:
             lines.append(f"  block {d.block:<4} {d.direction:<8} -> "
                          f"{d.action:<10} ({d.reason})")
         return "\n".join(lines) or "  (no loop branches)"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (engine artifact-cache payload).
+
+        Instruction uids are process-local (a module-global counter), so
+        raw ``branch_uid`` values would differ between a serial run and a
+        worker process.  Serialization therefore *rank-normalizes* them —
+        each decision stores the rank of its uid among the plan's uids.
+        Ranks are deterministic, order-preserving, and idempotent under
+        re-serialization, so cached and freshly-computed payloads are
+        byte-identical.
+        """
+        ranks = {uid: i for i, uid in enumerate(
+            sorted({d.branch_uid for d in self.decisions}))}
+        recs = []
+        for d in self.decisions:
+            rec = d.to_dict()
+            rec["branch_uid"] = ranks[d.branch_uid]
+            recs.append(rec)
+        return {"decisions": recs}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DecisionPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(decisions=[Decision.from_dict(x)
+                              for x in d["decisions"]])
 
 
 def decide(cfg: CFG, forest: LoopForest, profile: ProfileDB,

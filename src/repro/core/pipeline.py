@@ -90,6 +90,44 @@ class CompileResult:
             lines.append(f"  {f}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, reconstructible by :meth:`from_dict`.
+
+        Everything round-trips except ``profile``: a :class:`ProfileDB`
+        holds per-branch outcome vectors keyed by process-local instruction
+        uids, so it is deliberately dropped — ``from_dict`` restores
+        ``profile=None``.  Consumers needing feedback data re-profile.
+        """
+        return {
+            "program": self.program.to_dict(),
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "splits_applied": self.splits_applied,
+            "ifconverts_applied": self.ifconverts_applied,
+            "likely_report": (self.likely_report.to_dict()
+                              if self.likely_report is not None else None),
+            "region_report": (self.region_report.to_dict()
+                              if self.region_report is not None else None),
+            "failures": [f.to_dict() for f in self.failures],
+            "fallback": self.fallback,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CompileResult":
+        """Inverse of :meth:`to_dict` (``profile`` is restored as None)."""
+        return cls(
+            program=Program.from_dict(d["program"]),
+            plan=(DecisionPlan.from_dict(d["plan"])
+                  if d["plan"] is not None else None),
+            splits_applied=d["splits_applied"],
+            ifconverts_applied=d["ifconverts_applied"],
+            likely_report=(LikelyReport.from_dict(d["likely_report"])
+                           if d["likely_report"] is not None else None),
+            region_report=(RegionReport.from_dict(d["region_report"])
+                           if d["region_report"] is not None else None),
+            failures=[PassFailure.from_dict(f) for f in d["failures"]],
+            fallback=d["fallback"],
+        )
+
 
 def compile_baseline(prog: Program,
                      model: MachineModel = DEFAULT_MODEL) -> CompileResult:

@@ -1,0 +1,200 @@
+"""Evaluation cells: the unit of cached / parallel work.
+
+One *cell* is one (benchmark, scheme) table entry: compile the program for
+the scheme's pipeline kind, simulate it under the scheme's predictor, and
+return statistics.  :class:`CellSpec` is a fully picklable description of
+a cell (the program travels as printed assembly + data tables, because
+:class:`~repro.isa.program.Program` objects are not picklable), and
+:func:`execute_cell` runs one — either in-process or inside a worker
+process of :mod:`repro.engine.pool`.
+
+Containment semantics mirror the serial runner exactly (PR 1): a cell
+that raises is retried once, then reported as a ``failure`` record the
+tables render as ``FAIL(<reason>)``.  When ``timeout`` is set, each
+attempt is additionally bounded by a ``SIGALRM`` watchdog (POSIX main
+thread only), and a fired watchdog is just another contained failure.
+
+:data:`COUNTERS` counts every *actual* compile and simulation performed
+in this process — the engine's warm-cache acceptance test asserts these
+stay at zero when every cell hits the artifact cache.
+"""
+
+from __future__ import annotations
+
+import signal
+import traceback
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
+from ..core.pipeline import CompileResult, compile_baseline, compile_proposed
+from ..isa.program import Program
+from ..sim.config import MachineConfig, r10k_config
+from ..sim.functional import ExecStats, FunctionalSim
+from ..sim.pipeline import TimingSim
+from ..sim.stats import SimStats
+
+#: The paper's three schemes as (scheme, pipeline kind, predictor) rows —
+#: the canonical plan the suite, cache keys, and workers all share.
+SCHEME_PLAN = (
+    ("2bitBP", "base", "twobit"),
+    ("Proposed", "prop", "twobit"),
+    ("PerfectBP", "base", "perfect"),
+)
+
+#: Per-cell retry count before a failure is recorded (transient faults).
+CELL_RETRIES = 1
+
+
+@dataclass
+class EngineCounters:
+    """Process-local count of real compile/simulate executions."""
+
+    compiles: int = 0
+    simulates: int = 0
+
+    def reset(self) -> None:
+        """Zero both counters (test isolation)."""
+        self.compiles = 0
+        self.simulates = 0
+
+
+#: Global execution counters of this process.  Worker processes keep their
+#: own instance; the parent's counters therefore measure exactly the work
+#: the parent performed (zero on a fully warm cache).
+COUNTERS = EngineCounters()
+
+
+class CellTimeout(RuntimeError):
+    """A cell attempt exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Picklable description of one evaluation cell."""
+
+    benchmark: str
+    scheme: str
+    kind: str                      # "base" | "prop"
+    predictor: str                 # "twobit" | "perfect" | ...
+    program: dict                  # Program.to_dict() payload
+    heur: FeedbackHeuristics = DEFAULT_HEURISTICS
+    config_overrides: tuple = ()   # sorted (field, value) pairs
+    max_steps: int = 50_000_000
+    timeout: Optional[float] = None
+    strict: bool = False
+
+    def resolve_config(self) -> MachineConfig:
+        """The fully resolved machine configuration of this cell."""
+        return r10k_config(self.predictor, **dict(self.config_overrides))
+
+
+def overrides_as_items(config_overrides: Optional[dict]) -> tuple:
+    """Normalize a config-override dict into sorted picklable pairs."""
+    return tuple(sorted((config_overrides or {}).items()))
+
+
+def counted_compile(kind: str, prog: Program, heur: FeedbackHeuristics,
+                    max_steps: int) -> CompileResult:
+    """Compile *prog* for a pipeline *kind*, incrementing the counter."""
+    COUNTERS.compiles += 1
+    if kind == "base":
+        return compile_baseline(prog)
+    return compile_proposed(prog, heur=heur, max_steps=max_steps)
+
+
+def counted_simulate(prog: Program, config: MachineConfig,
+                     max_steps: int) -> tuple[SimStats, ExecStats]:
+    """Functional + timing simulation, incrementing the counter."""
+    COUNTERS.simulates += 1
+    fsim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=False)
+    tsim = TimingSim(config)
+    stats = tsim.run(fsim.trace())
+    return stats, fsim.stats
+
+
+def _short_reason(exc: BaseException) -> str:
+    """One-line classification of a cell failure for table rendering."""
+    text = str(exc).splitlines()[0] if str(exc) else ""
+    name = type(exc).__name__
+    return f"{name}: {text}"[:80] if text else name
+
+
+def _failure_payload(benchmark: str, scheme: str,
+                     exc: BaseException) -> dict:
+    detail = "".join(traceback.format_exception(
+        type(exc), exc, exc.__traceback__)[-4:])
+    return {"benchmark": benchmark, "scheme": scheme, "stats": None,
+            "exec_stats": None, "compile_result": None,
+            "failure": _short_reason(exc), "failure_detail": detail}
+
+
+class _alarm:
+    """Context manager arming a SIGALRM watchdog for one cell attempt.
+
+    A no-op when *seconds* is falsy or SIGALRM is unavailable (non-POSIX,
+    or not the main thread).  Timer granularity is whole seconds.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = int(seconds) if seconds else 0
+        self.previous: Any = None
+        self.armed = False
+
+    def __enter__(self) -> "_alarm":
+        if not self.seconds or not hasattr(signal, "SIGALRM"):
+            return self
+
+        def _fire(signum, frame):
+            raise CellTimeout(f"cell exceeded {self.seconds}s budget")
+
+        try:
+            self.previous = signal.signal(signal.SIGALRM, _fire)
+        except ValueError:          # not in the main thread
+            return self
+        signal.alarm(self.seconds)
+        self.armed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.armed:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, self.previous)
+
+
+def execute_cell(spec: CellSpec, program: Optional[Program] = None,
+                 compile_memo: Optional[dict] = None) -> dict:
+    """Run one cell; returns a plain-dict :class:`SchemeResult` payload.
+
+    *program* short-circuits payload deserialization when the caller
+    already holds the Program (in-process fast path).  *compile_memo*
+    shares successful compiles across the cells of one benchmark (the
+    2bitBP and PerfectBP columns reuse the same baseline compile), exactly
+    as the serial runner does; failed compiles are retried per cell.
+
+    With ``spec.strict`` the first exception propagates; otherwise the
+    cell is retried once and then recorded as a failure payload.
+    """
+    last: Optional[BaseException] = None
+    memo = compile_memo if compile_memo is not None else {}
+    for _ in range(CELL_RETRIES + 1):
+        try:
+            with _alarm(spec.timeout):
+                prog = program if program is not None \
+                    else Program.from_dict(spec.program)
+                if spec.kind not in memo:
+                    memo[spec.kind] = counted_compile(
+                        spec.kind, prog, spec.heur, spec.max_steps)
+                cr = memo[spec.kind]
+                stats, exec_stats = counted_simulate(
+                    cr.program, spec.resolve_config(), spec.max_steps)
+            return {"benchmark": spec.benchmark, "scheme": spec.scheme,
+                    "stats": stats.to_dict(),
+                    "exec_stats": exec_stats.to_dict(),
+                    "compile_result": cr.to_dict(),
+                    "failure": None, "failure_detail": ""}
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            if spec.strict:
+                raise
+            last = exc
+    return _failure_payload(spec.benchmark, spec.scheme, last)

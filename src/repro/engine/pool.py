@@ -1,0 +1,69 @@
+"""Process-pool fan-out for independent evaluation cells.
+
+:func:`run_cells` executes a list of :class:`~repro.engine.cells.CellSpec`
+and returns one result payload per spec, in input order.  With ``jobs <=
+1`` it runs everything in the calling process (sharing compiles across
+each benchmark's cells, like the serial runner); with ``jobs > 1`` it
+fans out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Crash containment extends into the worker path: a Python exception inside
+a worker is contained by :func:`~repro.engine.cells.execute_cell` itself
+(retry once, then a ``FAIL(...)`` payload).  If a worker *process* dies
+(OOM kill, interpreter abort), every in-flight and unstarted cell's
+future raises — those cells are transparently re-run in the parent
+process with the same containment, so one dead worker degrades throughput,
+never results.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from ..isa.program import Program
+from .cells import CellSpec, execute_cell
+
+
+def _run_serial(specs: list[CellSpec],
+                programs: Optional[dict[str, Program]] = None) -> list[dict]:
+    """In-process fallback: per-benchmark compile sharing, input order."""
+    memos: dict[str, dict] = defaultdict(dict)
+    out = []
+    for spec in specs:
+        prog = (programs or {}).get(spec.benchmark)
+        out.append(execute_cell(spec, program=prog,
+                                compile_memo=memos[spec.benchmark]))
+    return out
+
+
+def run_cells(specs: list[CellSpec], jobs: int = 1,
+              programs: Optional[dict[str, Program]] = None) -> list[dict]:
+    """Execute all *specs*; returns result payloads in input order.
+
+    *programs* optionally maps benchmark name to an already-built
+    :class:`Program`, short-circuiting deserialization on the in-process
+    path (worker processes always rebuild from the spec payload).
+    """
+    if jobs <= 1 or len(specs) <= 1:
+        return _run_serial(specs, programs)
+
+    results: list[Optional[dict]] = [None] * len(specs)
+    redo: list[int] = []
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as ex:
+            futures = [ex.submit(execute_cell, spec) for spec in specs]
+            for i, fut in enumerate(futures):
+                try:
+                    results[i] = fut.result()
+                except Exception:  # noqa: BLE001 - worker died; re-run here
+                    redo.append(i)
+    except Exception:  # noqa: BLE001 - executor setup/teardown failure
+        redo.extend(i for i in range(len(specs))
+                    if results[i] is None and i not in redo)
+    if redo:
+        redone = _run_serial([specs[i] for i in redo], programs)
+        for i, payload in zip(redo, redone):
+            results[i] = payload
+    return [r if r is not None else _run_serial([specs[i]], programs)[0]
+            for i, r in enumerate(results)]

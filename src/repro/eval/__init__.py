@@ -2,7 +2,7 @@
 
 from .runner import (
     SCHEMES, BenchmarkRun, SchemeResult, run_benchmark, run_suite,
-    suite_failures,
+    suite_failures, suite_from_dict, suite_to_dict,
 )
 from .paper_data import (
     PAPER_TABLE1, PAPER_TABLE3_BR, PAPER_TABLE4_IPC, format_shape_verdicts,
@@ -19,7 +19,7 @@ __all__ = [
     "format_shape_verdicts", "shape_verdicts",
     "render_report", "write_report",
     "SCHEMES", "BenchmarkRun", "SchemeResult", "run_benchmark", "run_suite",
-    "suite_failures",
+    "suite_failures", "suite_from_dict", "suite_to_dict",
     "PAPER_ORDER", "format_improvements", "format_table1", "format_table2",
     "format_table3", "format_table4", "table1", "table2", "table3", "table4",
 ]

@@ -15,6 +15,15 @@ retried once (transient allocator/recursion issues), then recorded as a
 *failed cell* — ``SchemeResult.failure`` holds the classified reason and
 the tables render ``FAIL(<reason>)`` instead of the whole run aborting.
 ``strict=True`` restores fail-fast for debugging.
+
+Engine integration
+------------------
+:func:`run_suite` routes through :mod:`repro.engine`: pass ``cache`` to
+reuse previously computed cells from the content-addressed artifact store
+and ``jobs`` to fan cache misses out over worker processes.  The default
+(``jobs=1``, no cache) behaves exactly like the original serial loop —
+including calling :func:`run_benchmark` through this module's namespace,
+so monkeypatched fault injection keeps working.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from typing import Callable, Optional
 
 from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
 from ..core.pipeline import CompileResult, compile_baseline, compile_proposed
+from ..engine.cells import COUNTERS
 from ..isa.program import Program
 from ..sim.config import MachineConfig, r10k_config
 from ..sim.functional import ExecStats, FunctionalSim
@@ -60,6 +70,36 @@ class SchemeResult:
         """True when the cell produced statistics."""
         return self.failure is None and self.stats is not None
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form: the engine's artifact-cache payload and
+        the ``tables --json`` record for this cell."""
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "stats": self.stats.to_dict() if self.stats else None,
+            "exec_stats": (self.exec_stats.to_dict()
+                           if self.exec_stats else None),
+            "compile_result": (self.compile_result.to_dict()
+                               if self.compile_result else None),
+            "failure": self.failure,
+            "failure_detail": self.failure_detail,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SchemeResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            benchmark=d["benchmark"],
+            scheme=d["scheme"],
+            stats=SimStats.from_dict(d["stats"]) if d["stats"] else None,
+            exec_stats=(ExecStats.from_dict(d["exec_stats"])
+                        if d["exec_stats"] else None),
+            compile_result=(CompileResult.from_dict(d["compile_result"])
+                            if d["compile_result"] else None),
+            failure=d["failure"],
+            failure_detail=d["failure_detail"],
+        )
+
 
 @dataclass
 class BenchmarkRun:
@@ -93,6 +133,20 @@ class BenchmarkRun:
             return float("nan")
         return prop.stats.ipc / base.stats.ipc
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``tables --json`` per-benchmark record)."""
+        imp = self.improvement
+        return {"name": self.name,
+                "results": {s: r.to_dict() for s, r in self.results.items()},
+                "improvement": None if imp != imp else imp}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BenchmarkRun":
+        """Inverse of :meth:`to_dict` (``improvement`` is recomputed)."""
+        return cls(name=d["name"],
+                   results={s: SchemeResult.from_dict(r)
+                            for s, r in d["results"].items()})
+
 
 def _short_reason(exc: BaseException) -> str:
     """One-line classification of a cell failure for table rendering."""
@@ -103,6 +157,7 @@ def _short_reason(exc: BaseException) -> str:
 
 def _run(prog: Program, config: MachineConfig,
          max_steps: int = 50_000_000) -> tuple[SimStats, ExecStats]:
+    COUNTERS.simulates += 1
     fsim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=False)
     tsim = TimingSim(config)
     stats = tsim.run(fsim.trace())
@@ -145,6 +200,7 @@ def run_benchmark(name: str, prog: Program,
 
     def _compiled(kind: str) -> CompileResult:
         if kind not in compiles:
+            COUNTERS.compiles += 1
             compiles[kind] = compile_baseline(prog) if kind == "base" \
                 else compile_proposed(prog, heur=heur, max_steps=max_steps)
         return compiles[kind]
@@ -171,33 +227,41 @@ def run_suite(scale: float = 1.0,
               config_overrides: Optional[dict] = None,
               progress: Optional[Callable[[str], None]] = None,
               max_steps: int = 50_000_000,
-              strict: bool = False) -> dict[str, BenchmarkRun]:
+              strict: bool = False,
+              jobs: int = 1,
+              cache=None,
+              timeout: Optional[float] = None,
+              seed: Optional[int] = None) -> dict[str, BenchmarkRun]:
     """Run the full benchmark suite through all three schemes.
 
     Returns ``{benchmark: BenchmarkRun}`` in the paper's benchmark order.
     A benchmark whose *construction* fails is recorded as a run whose three
     cells all failed (unless ``strict``); cell-level failures are handled
     by :func:`run_benchmark`.
+
+    Execution routes through :func:`repro.engine.run_suite`: *cache*
+    (None, True, a path, or an :class:`~repro.engine.ArtifactCache`)
+    enables the content-addressed artifact store, *jobs* > 1 runs cache
+    misses in parallel worker processes with an optional per-cell
+    *timeout* (seconds), and *seed* re-seeds the synthetic workloads.
     """
-    if benchmarks is not None:
-        programs = benchmarks
-    else:
-        programs = benchmark_programs(scale)
-    out: dict[str, BenchmarkRun] = {}
-    for name, prog in programs.items():
-        if progress:
-            progress(name)
-        try:
-            out[name] = run_benchmark(name, prog, heur=heur,
-                                      config_overrides=config_overrides,
-                                      max_steps=max_steps, strict=strict)
-        except Exception as exc:  # noqa: BLE001
-            if strict:
-                raise
-            reason = _short_reason(exc)
-            out[name] = BenchmarkRun(name=name, results={
-                s: SchemeResult(name, s, failure=reason) for s in SCHEMES})
-    return out
+    from ..engine.suite import run_suite as _engine_run_suite
+
+    return _engine_run_suite(
+        scale=scale, heur=heur, benchmarks=benchmarks,
+        config_overrides=config_overrides, progress=progress,
+        max_steps=max_steps, strict=strict, jobs=jobs, cache=cache,
+        timeout=timeout, seed=seed)
+
+
+def suite_to_dict(runs: dict[str, BenchmarkRun]) -> dict:
+    """Machine-readable form of a suite run (``tables --json``)."""
+    return {name: run.to_dict() for name, run in runs.items()}
+
+
+def suite_from_dict(d: dict) -> dict[str, BenchmarkRun]:
+    """Inverse of :func:`suite_to_dict`."""
+    return {name: BenchmarkRun.from_dict(run) for name, run in d.items()}
 
 
 def suite_failures(runs: dict[str, BenchmarkRun]) -> list[SchemeResult]:

@@ -192,6 +192,40 @@ class Program:
         )
         return p
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, reconstructible by :meth:`from_dict`.
+
+        The instruction stream and labels travel as parseable assembly text
+        (the printer/parser round-trip); the data segment, data symbols and
+        code references — which the printer does not emit — travel as
+        explicit tables.  Instruction uids are *not* preserved (they are
+        process-local identities, regenerated on parse).
+        """
+        from .printer import format_program
+
+        return {
+            "name": self.name,
+            "text": format_program(self),
+            "data_symbols": dict(self.data_symbols),
+            "data_image": {str(a): b
+                           for a, b in sorted(self.data_image.items())},
+            "code_refs": {str(a): label
+                          for a, label in sorted(self.code_refs.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Program":
+        """Inverse of :meth:`to_dict`."""
+        from .parser import parse
+
+        prog = parse(d["text"], name=d["name"])
+        prog.data_symbols = dict(d["data_symbols"])
+        prog.data_image = {int(a): int(b)
+                           for a, b in d["data_image"].items()}
+        prog.code_refs = {int(a): label
+                          for a, label in d["code_refs"].items()}
+        return prog
+
     def __str__(self) -> str:
         from .printer import format_program
 

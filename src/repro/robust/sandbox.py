@@ -42,6 +42,18 @@ class PassFailure:
         tag = "skipped" if self.kind == "skip" else "contained"
         return f"[{self.stage}] {tag} ({self.kind}): {self.reason}"
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (engine artifact-cache payload)."""
+        return {"stage": self.stage, "kind": self.kind,
+                "reason": self.reason, "detail": self.detail,
+                "rolled_back": self.rolled_back}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PassFailure":
+        """Inverse of :meth:`to_dict`."""
+        return cls(stage=d["stage"], kind=d["kind"], reason=d["reason"],
+                   detail=d["detail"], rolled_back=d["rolled_back"])
+
 
 def snapshot_cfg(cfg: CFG) -> dict[str, Any]:
     """Capture everything a pass may mutate, preserving block ids."""

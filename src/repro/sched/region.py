@@ -36,6 +36,22 @@ class RegionReport:
     blocks_touched: int = 0
     per_block: dict[int, tuple[int, int]] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (engine artifact-cache payload)."""
+        return {"speculated": self.speculated,
+                "duplicated": self.duplicated,
+                "blocks_touched": self.blocks_touched,
+                "per_block": {str(bid): list(v)
+                              for bid, v in self.per_block.items()}}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RegionReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(speculated=d["speculated"], duplicated=d["duplicated"],
+                   blocks_touched=d["blocks_touched"],
+                   per_block={int(bid): tuple(v)
+                              for bid, v in d["per_block"].items()})
+
 
 def schedule_region(cfg: CFG, model: MachineModel = DEFAULT_MODEL,
                     bias_threshold: float = 0.65,

@@ -40,6 +40,17 @@ class PredictorStats:
         good = self.correct + self.likely_correct
         return good / total if total else 1.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (engine artifact-cache payload)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PredictorStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**d)
+
 
 class BranchPredictor:
     """Interface: :meth:`access` is called once per dynamic branch, in

@@ -23,6 +23,15 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (engine artifact-cache payload)."""
+        return {"accesses": self.accesses, "misses": self.misses}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CacheStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(accesses=d["accesses"], misses=d["misses"])
+
 
 class Cache:
     """Tag-only set-associative cache with LRU replacement."""

@@ -95,6 +95,47 @@ class ExecStats:
         """Paper Table 1: branches / total dynamic instruction stream."""
         return self.branches / self.steps if self.steps else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form: exact round-trip via :meth:`from_dict`.
+
+        Branch outcome vectors are keyed by instruction uid; JSON object
+        keys must be strings, so uids are stringified on the way out and
+        restored on the way back in.
+        """
+        return {
+            "steps": self.steps,
+            "annulled": self.annulled,
+            "branches": self.branches,
+            "taken_branches": self.taken_branches,
+            "jumps": self.jumps,
+            "loads": self.loads,
+            "stores": self.stores,
+            "div_by_zero": self.div_by_zero,
+            "halted": self.halted,
+            "branch_outcomes": {str(uid): [bool(b) for b in bits]
+                                for uid, bits in self.branch_outcomes.items()},
+            "branch_pc": {str(uid): pc
+                          for uid, pc in self.branch_pc.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExecStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            steps=d["steps"],
+            annulled=d["annulled"],
+            branches=d["branches"],
+            taken_branches=d["taken_branches"],
+            jumps=d["jumps"],
+            loads=d["loads"],
+            stores=d["stores"],
+            div_by_zero=d["div_by_zero"],
+            halted=d["halted"],
+            branch_outcomes={int(uid): [bool(b) for b in bits]
+                             for uid, bits in d["branch_outcomes"].items()},
+            branch_pc={int(uid): pc for uid, pc in d["branch_pc"].items()},
+        )
+
 
 class SimulationError(RuntimeError):
     """Base class for classified functional-simulation failures.

@@ -64,6 +64,51 @@ class SimStats:
             return 0.0
         return self.unit_issues.get(name, 0) / (self.cycles * num_units)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form: exact round-trip via :meth:`from_dict`.
+
+        Used by the evaluation engine's artifact cache and the ``tables
+        --json`` machine-readable output.
+        """
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "annulled": self.annulled,
+            "dispatched": self.dispatched,
+            "queue_full_cycles": dict(self.queue_full_cycles),
+            "unit_full_cycles": dict(self.unit_full_cycles),
+            "unit_issues": dict(self.unit_issues),
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "icache_stall_cycles": self.icache_stall_cycles,
+            "mispredict_events": self.mispredict_events,
+            "indirect_stall_events": self.indirect_stall_events,
+            "wrong_path_squashed": self.wrong_path_squashed,
+            "predictor": self.predictor.to_dict(),
+            "icache": self.icache.to_dict(),
+            "dcache": self.dcache.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cycles=d["cycles"],
+            committed=d["committed"],
+            annulled=d["annulled"],
+            dispatched=d["dispatched"],
+            queue_full_cycles=dict(d["queue_full_cycles"]),
+            unit_full_cycles=dict(d["unit_full_cycles"]),
+            unit_issues=dict(d["unit_issues"]),
+            fetch_stall_cycles=d["fetch_stall_cycles"],
+            icache_stall_cycles=d["icache_stall_cycles"],
+            mispredict_events=d["mispredict_events"],
+            indirect_stall_events=d["indirect_stall_events"],
+            wrong_path_squashed=d["wrong_path_squashed"],
+            predictor=PredictorStats.from_dict(d["predictor"]),
+            icache=CacheStats.from_dict(d["icache"]),
+            dcache=CacheStats.from_dict(d["dcache"]),
+        )
+
     def summary(self) -> str:
         lines = [
             f"cycles               {self.cycles}",

@@ -31,6 +31,19 @@ class LikelyReport:
     skipped_unsupported: int = 0
     details: list[tuple[int, str, str]] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (engine artifact-cache payload)."""
+        return {"converted": self.converted, "negated": self.negated,
+                "skipped_unsupported": self.skipped_unsupported,
+                "details": [list(t) for t in self.details]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LikelyReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(converted=d["converted"], negated=d["negated"],
+                   skipped_unsupported=d["skipped_unsupported"],
+                   details=[tuple(t) for t in d["details"]])
+
 
 def negate_branch(cfg: CFG, bid: int) -> bool:
     """Invert the sense of the conditional branch ending block *bid*,

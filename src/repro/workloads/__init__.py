@@ -20,17 +20,40 @@ BENCHMARKS = {
 }
 
 
-def benchmark_programs(scale: float = 1.0):
-    """Instantiate all four benchmarks, optionally scaled.
+def _derived_seeds(seed):
+    """Per-benchmark seeds from one master seed (None = module defaults).
+
+    Each benchmark gets a distinct odd 31-bit seed via a Weyl-style mix so
+    ``seed=N`` never feeds the same LCG stream to two benchmarks.
+    """
+    if seed is None:
+        return {}
+    mixed = {name: ((seed * 0x9E3779B1 + i * 0x85EBCA6B) & 0x7FFFFFFF) | 1
+             for i, name in enumerate(("compress", "espresso", "grep"))}
+    return mixed
+
+
+def benchmark_programs(scale: float = 1.0, seed=None):
+    """Instantiate all four benchmarks, optionally scaled and re-seeded.
 
     scale multiplies each benchmark's primary size parameter (input bytes,
-    cube count, VM iterations, text bytes).
+    cube count, VM iterations, text bytes).  seed, when given, re-seeds the
+    input generators of the stochastic benchmarks (compress, espresso,
+    grep) with per-benchmark derivations; xlisp's workload is fully
+    deterministic and takes no seed.  ``seed=None`` keeps the fixed
+    defaults, so repeated calls are bit-identical either way.
     """
+    seeds = _derived_seeds(seed)
+    compress_kw = {"seed": seeds["compress"]} if seeds else {}
+    espresso_kw = {"seed": seeds["espresso"]} if seeds else {}
+    grep_kw = {"seed": seeds["grep"]} if seeds else {}
     return {
-        "compress": compress_program(n=max(64, int(4000 * scale))),
-        "espresso": espresso_program(m=max(16, int(120 * scale))),
+        "compress": compress_program(n=max(64, int(4000 * scale)),
+                                     **compress_kw),
+        "espresso": espresso_program(m=max(16, int(120 * scale)),
+                                     **espresso_kw),
         "xlisp": xlisp_program(k=max(8, int(600 * scale))),
-        "grep": grep_program(n=max(64, int(6000 * scale))),
+        "grep": grep_program(n=max(64, int(6000 * scale)), **grep_kw),
     }
 
 

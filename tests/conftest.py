@@ -1,0 +1,14 @@
+"""Suite-wide fixtures.
+
+Tests must never touch the developer's real artifact cache (or litter the
+repository with ``.repro-cache/``), so every test sees a throwaway
+``REPRO_CACHE_DIR`` unless it overrides the location itself.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the default artifact-cache root at a per-test temp dir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

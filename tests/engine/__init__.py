@@ -1,0 +1,1 @@
+"""Tests for the parallel evaluation engine (cache, keys, pool, suite)."""

@@ -1,0 +1,66 @@
+"""Process-pool fan-out: order, parity with serial, worker containment."""
+
+import json
+
+import pytest
+
+from repro.engine import SCHEME_PLAN, CellSpec, run_cells
+from repro.workloads import benchmark_programs
+
+
+@pytest.fixture(scope="module")
+def programs():
+    """Two small benchmarks (module-scoped: parsing is not free)."""
+    progs = benchmark_programs(0.01)
+    return {name: progs[name] for name in ("compress", "xlisp")}
+
+
+def _specs(programs, max_steps=2_000_000):
+    specs = []
+    for name, prog in programs.items():
+        payload = prog.to_dict()
+        for scheme, kind, predictor in SCHEME_PLAN:
+            specs.append(CellSpec(
+                benchmark=name, scheme=scheme, kind=kind,
+                predictor=predictor, program=payload,
+                max_steps=max_steps))
+    return specs
+
+
+def test_serial_results_in_input_order(programs):
+    specs = _specs(programs)
+    payloads = run_cells(specs, jobs=1, programs=programs)
+    assert [(p["benchmark"], p["scheme"]) for p in payloads] == \
+        [(s.benchmark, s.scheme) for s in specs]
+    assert all(p["failure"] is None for p in payloads)
+
+
+def test_parallel_byte_identical_to_serial(programs):
+    specs = _specs(programs)
+    serial = run_cells(specs, jobs=1, programs=programs)
+    parallel = run_cells(specs, jobs=2)
+    assert json.dumps(serial, sort_keys=True) == \
+        json.dumps(parallel, sort_keys=True)
+
+
+def test_fail_cells_propagate_from_workers(programs):
+    # A 10-step budget cannot run any benchmark: every cell must come
+    # back as a contained FAIL payload, not an exception.
+    specs = _specs(programs, max_steps=10)
+    payloads = run_cells(specs, jobs=2)
+    assert len(payloads) == len(specs)
+    for p in payloads:
+        assert p["failure"] is not None
+        assert p["stats"] is None
+    # The functional step budget is the failure the worker actually hit.
+    assert any("StepBudgetExceeded" in p["failure"] for p in payloads)
+
+
+def test_strict_spec_raises_in_serial(programs):
+    spec = _specs({"compress": programs["compress"]}, max_steps=10)[0]
+    strict_spec = CellSpec(
+        benchmark=spec.benchmark, scheme=spec.scheme, kind=spec.kind,
+        predictor=spec.predictor, program=spec.program, max_steps=10,
+        strict=True)
+    with pytest.raises(Exception):
+        run_cells([strict_spec], jobs=1)

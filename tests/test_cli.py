@@ -59,3 +59,59 @@ def test_unknown_program():
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_tables_json_output(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "suite.json"
+    assert main(["tables", "--scale", "0.01", "--no-cache",
+                 "--json", str(out)]) == 0
+    assert "Table 4" in capsys.readouterr().out
+    data = json.loads(out.read_text())
+    assert set(data) == {"compress", "espresso", "xlisp", "grep"}
+    assert data["compress"]["results"]["2bitBP"]["stats"]["cycles"] > 0
+
+
+def test_tables_cache_warm_run(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["tables", "--scale", "0.01", "--cache-dir", cache]) == 0
+    cold = capsys.readouterr()
+    assert "cache: hits=0" in cold.err
+    assert main(["tables", "--scale", "0.01", "--cache-dir", cache]) == 0
+    warm = capsys.readouterr()
+    assert "cache: hits=12 misses=0" in warm.err
+    assert warm.out == cold.out
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["tables", "--scale", "0.01", "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "entries    : 12" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache]) == 0
+    assert "cleared 12 entries" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "entries    : 0" in capsys.readouterr().out
+
+
+def test_sweep(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "sweep.json"
+    assert main(["sweep", "--scales", "0.01", "--no-cache",
+                 "--config", "fetch_width=2,4",
+                 "--benchmarks", "compress",
+                 "--out", str(out)]) == 0
+    records = json.loads(out.read_text())
+    assert len(records) == 6  # 2 widths x 1 benchmark x 3 schemes
+    assert {r["config"]["fetch_width"] for r in records} == {2, 4}
+    assert all(r["ok"] for r in records)
+    assert all(r["ipc"] > 0 for r in records)
+
+
+def test_sweep_rejects_unknown_axis():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--scales", "0.01", "--no-cache",
+              "--config", "no_such_field=1,2"])

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Benchmark the evaluation engine: cold vs warm vs parallel suite runs.
+
+Times three phases over a throwaway cache directory:
+
+* **cold**     — empty cache, serial: every cell compiles and simulates;
+* **warm**     — same cache, serial: every cell must hit the artifact
+  store (the engine's whole point — wall-clock should collapse);
+* **parallel** — empty cache again, ``--jobs N``: cold work fanned out
+  over worker processes.
+
+Writes ``BENCH_engine.json`` with wall-clock seconds per phase, the
+compile/simulate counter totals, cache hit rates, and the warm/parallel
+speedups over cold.  Counters are per-process, so the parallel phase
+reports 0 compiles/simulates in this (parent) process — the work shows
+up in its cache misses instead.  Run from the repository root::
+
+    python tools/bench_suite.py [--scale 0.1] [--jobs 4] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import COUNTERS, ArtifactCache, run_suite  # noqa: E402
+
+
+def _timed_run(scale: float, max_steps: int, cache: ArtifactCache,
+               jobs: int = 1) -> dict:
+    """One suite run; returns wall-clock plus counter/cache deltas."""
+    COUNTERS.reset()
+    cache.counters.reset()
+    t0 = time.perf_counter()
+    runs = run_suite(scale=scale, max_steps=max_steps, cache=cache,
+                     jobs=jobs)
+    elapsed = time.perf_counter() - t0
+    failed = [f"{name}/{cell.scheme}"
+              for name, run in runs.items()
+              for cell in run.results.values() if not cell.ok]
+    return {
+        "seconds": round(elapsed, 4),
+        "compiles": COUNTERS.compiles,
+        "simulates": COUNTERS.simulates,
+        "cache_hits": cache.counters.hits,
+        "cache_misses": cache.counters.misses,
+        "hit_rate": round(cache.counters.hit_rate, 4),
+        "failed_cells": failed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Time the three phases and write the JSON record."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=float, default=0.1,
+                    help="workload scale factor (default 0.1)")
+    ap.add_argument("--jobs", type=int, default=max(2, os.cpu_count() or 2),
+                    help="worker processes for the parallel phase")
+    ap.add_argument("--max-steps", type=int, default=50_000_000,
+                    help="per-cell functional step budget")
+    ap.add_argument("--out", default="BENCH_engine.json",
+                    help="output path (default BENCH_engine.json)")
+    args = ap.parse_args(argv)
+
+    phases: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as d:
+        cache = ArtifactCache(Path(d) / "serial")
+        print(f"cold   (scale={args.scale}, jobs=1) ...", file=sys.stderr)
+        phases["cold"] = _timed_run(args.scale, args.max_steps, cache)
+        print(f"warm   (scale={args.scale}, jobs=1) ...", file=sys.stderr)
+        phases["warm"] = _timed_run(args.scale, args.max_steps, cache)
+        par_cache = ArtifactCache(Path(d) / "parallel")
+        print(f"parallel (scale={args.scale}, jobs={args.jobs}) ...",
+              file=sys.stderr)
+        phases["parallel"] = _timed_run(args.scale, args.max_steps,
+                                        par_cache, jobs=args.jobs)
+
+    cold_s = phases["cold"]["seconds"]
+    record = {
+        "bench": "engine_suite",
+        "scale": args.scale,
+        "jobs": args.jobs,
+        # Parallel speedup is bounded by physical cores; a 1-core host
+        # can only show that fan-out overhead is small, not a win.
+        "cpu_count": os.cpu_count(),
+        "max_steps": args.max_steps,
+        "phases": phases,
+        "speedup_warm_over_cold": round(
+            cold_s / phases["warm"]["seconds"], 2)
+        if phases["warm"]["seconds"] else None,
+        "speedup_parallel_over_cold": round(
+            cold_s / phases["parallel"]["seconds"], 2)
+        if phases["parallel"]["seconds"] else None,
+        "cold_gt_warm": cold_s > phases["warm"]["seconds"],
+    }
+    Path(args.out).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"cold={cold_s}s warm={phases['warm']['seconds']}s "
+          f"parallel={phases['parallel']['seconds']}s "
+          f"-> {args.out}", file=sys.stderr)
+    if not record["cold_gt_warm"]:
+        print("WARNING: warm run was not faster than cold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,10 @@
 #   1. the tier-1 test suite;
 #   2. IR verification + differential equivalence of the baseline and
 #      proposed compiles of two benchmarks at small scale;
-#   3. the fault-injection harness (every fault class must be caught).
+#   3. the fault-injection harness (every fault class must be caught);
+#   4. the evaluation engine: cold vs warm cache runs must produce
+#      identical tables with a nonzero warm hit rate, and a parallel
+#      (--jobs 2) run must match the serial tables byte for byte.
 #
 # Run from the repository root:  sh tools/smoke.sh
 set -e
@@ -20,5 +23,24 @@ python -m repro verify grep --scale 0.1
 
 echo "== fault injection =="
 python tools/inject_faults.py --scale 0.1
+
+echo "== engine: cold/warm cache + parallel (scale 0.05) =="
+SMOKE_TMP=$(mktemp -d)
+trap 'rm -rf "$SMOKE_TMP"' EXIT
+export REPRO_CACHE_DIR="$SMOKE_TMP/cache"
+
+python -m repro tables --scale 0.05 \
+    >"$SMOKE_TMP/cold.txt" 2>"$SMOKE_TMP/cold.err"
+python -m repro tables --scale 0.05 \
+    >"$SMOKE_TMP/warm.txt" 2>"$SMOKE_TMP/warm.err"
+diff "$SMOKE_TMP/cold.txt" "$SMOKE_TMP/warm.txt" \
+    || { echo "smoke: FAIL (warm tables differ from cold)"; exit 1; }
+grep -q "cache: hits=[1-9]" "$SMOKE_TMP/warm.err" \
+    || { echo "smoke: FAIL (warm run had no cache hits)"; \
+         cat "$SMOKE_TMP/warm.err"; exit 1; }
+python -m repro tables --scale 0.05 --jobs 2 --no-cache \
+    >"$SMOKE_TMP/par.txt" 2>/dev/null
+diff "$SMOKE_TMP/cold.txt" "$SMOKE_TMP/par.txt" \
+    || { echo "smoke: FAIL (--jobs 2 tables differ from serial)"; exit 1; }
 
 echo "smoke: all green"
