@@ -13,6 +13,10 @@ Commands:
 * ``verify``  — IR-verify and differentially check the baseline and
   proposed compiles of a benchmark (or ``all``) against the original
   program: structural invariants plus architectural equivalence;
+* ``fuzz``    — run a differential fuzzing campaign over generated
+  programs (all schemes cross-checked against the functional simulator),
+  shrink and triage any divergence into ``corpus/``, or ``--replay`` an
+  existing corpus (see docs/QA.md);
 * ``cache``   — inspect (``stats``) or wipe (``clear``) the engine's
   content-addressed artifact cache;
 * ``sweep``   — run a declarative design-space sweep and write one JSON
@@ -180,6 +184,54 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _usage_error(message: str) -> int:
+    """Print a CLI usage error to stderr; returns the exit code (2)."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a differential fuzzing campaign (or replay a corpus)."""
+    from .qa import CampaignConfig, replay_corpus, run_campaign
+
+    if args.jobs < 1:
+        return _usage_error(f"--jobs must be >= 1 (got {args.jobs})")
+    if args.budget < 1:
+        return _usage_error(f"--budget must be >= 1 (got {args.budget})")
+    if args.cache_dir and Path(args.cache_dir).is_file():
+        return _usage_error(
+            f"--cache-dir {args.cache_dir!r} exists and is not a directory")
+
+    if args.replay:
+        if not Path(args.replay).is_dir():
+            return _usage_error(f"--replay: no such corpus directory: "
+                                f"{args.replay}")
+        records = replay_corpus(args.replay, max_steps=args.max_steps)
+        bad = 0
+        for r in records:
+            broken = bool(r["divergent"] or r["error"])
+            bad += broken
+            detail = (r["error"] or ", ".join(r["divergent"]) or "clean")
+            print(f"{r['name']:<32} {'FAIL' if broken else 'ok':<5} {detail}")
+        print(f"replayed {len(records)} reproducer(s): "
+              f"{'all clean' if not bad else f'{bad} FAILED'}")
+        return 1 if bad else 0
+
+    cfg = CampaignConfig(
+        budget=args.budget, seed=args.seed, jobs=args.jobs,
+        shrink=args.shrink, max_steps=args.max_steps,
+        strategies=args.strategies.split(",") if args.strategies else None,
+        corpus_dir=args.corpus, cache=_make_cache(args))
+    try:
+        result = run_campaign(
+            cfg, progress=lambda msg: print(msg, file=sys.stderr))
+    except ValueError as exc:  # unknown strategy names
+        return _usage_error(str(exc))
+    print(result.summary.format())
+    _report_cache(cfg.cache)
+    return 0 if result.summary.clean else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     prog = _load_program(args.program, args.scale)
     db = ProfileDB.from_run(prog)
@@ -324,6 +376,35 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-steps", type=int, default=20_000_000,
                    help="step budget for the reference run")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign over generated programs")
+    p.add_argument("--budget", type=int, default=100, metavar="N",
+                   help="number of programs to generate and cross-check "
+                        "(default 100)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign master seed (default 0)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for fuzz cells (default 1)")
+    p.add_argument("--strategies", metavar="S1,S2",
+                   help="restrict to these lattice strategies "
+                        "(default: all; see docs/QA.md)")
+    p.add_argument("--corpus", default="corpus", metavar="DIR",
+                   help="directory for shrunk reproducers (default corpus/)")
+    p.add_argument("--replay", metavar="DIR",
+                   help="replay every .s reproducer under DIR through all "
+                        "schemes instead of fuzzing")
+    p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                   help="skip delta-debug minimization of failures")
+    p.add_argument("--max-steps", type=int, default=5_000_000,
+                   help="per-run functional step budget (default 5M)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache for this run")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="artifact cache directory (default .repro-cache/ "
+                        "or $REPRO_CACHE_DIR)")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("run", help="simulate a program")
     p.add_argument("program", help="benchmark name or .s file")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 from ..isa.program import Program
 from .cells import CellSpec, execute_cell
@@ -67,3 +67,38 @@ def run_cells(specs: list[CellSpec], jobs: int = 1,
             results[i] = payload
     return [r if r is not None else _run_serial([specs[i]], programs)[0]
             for i, r in enumerate(results)]
+
+
+def run_tasks(fn: Callable, payloads: Sequence, jobs: int = 1) -> list:
+    """Generic fan-out: ``[fn(p) for p in payloads]``, optionally parallel.
+
+    The engine-grade sibling of :func:`run_cells` for work units that are
+    not (benchmark, scheme) cells — e.g. :mod:`repro.qa` fuzz cells.  *fn*
+    must be a module-level picklable callable and each payload picklable;
+    containment of Python-level exceptions is *fn*'s own responsibility
+    (fuzz cells return failure payloads, mirroring
+    :func:`~repro.engine.cells.execute_cell`).  Worker-process death is
+    handled here exactly like :func:`run_cells`: the affected payloads are
+    transparently re-executed in the calling process, so a dead worker
+    degrades throughput, never results.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+
+    results: list = [None] * len(payloads)
+    filled = [False] * len(payloads)
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as ex:
+            futures = [ex.submit(fn, p) for p in payloads]
+            for i, fut in enumerate(futures):
+                try:
+                    results[i] = fut.result()
+                    filled[i] = True
+                except Exception:  # noqa: BLE001 - worker died; re-run here
+                    pass
+    except Exception:  # noqa: BLE001 - executor setup/teardown failure
+        pass
+    for i, done in enumerate(filled):
+        if not done:
+            results[i] = fn(payloads[i])
+    return results

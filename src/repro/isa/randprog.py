@@ -20,6 +20,10 @@ from .program import Program
 GEN_REGS = [f"r{i}" for i in range(1, 16)]
 #: Scratch memory base used by generated loads/stores.
 MEM_BASE = 0x0005_0000
+#: cc registers the guarded-op emitter cycles through.
+GEN_CC_REGS = ("cc0", "cc1", "cc2", "cc3")
+#: Branch-shape knob values (see :class:`RandProgConfig.branch_pattern`).
+BRANCH_PATTERNS = ("mixed", "monotonic", "alternating", "phased")
 
 
 @dataclass
@@ -32,6 +36,15 @@ class RandProgConfig:
     with_loop: bool = True
     with_memory: bool = True
     with_calls: bool = False       # emit jal/jr helper-function calls
+    #: probability that a generated op is a cmp + guarded (predicated)
+    #: instruction pair — stresses guard handling in every pass
+    guard_density: float = 0.0
+    #: dynamic shape of the diamond branches (needs ``with_loop``):
+    #: "mixed" (data-dependent, the default), "monotonic" (same outcome
+    #: every iteration), "alternating" (toggles each iteration: maximal
+    #: toggle factor), "phased" (one flip mid-loop: balanced frequency but
+    #: near-zero toggle — the classifier's hardest case)
+    branch_pattern: str = "mixed"
     seed: int = 0
     _rng: random.Random = field(init=False, repr=False, default=None)
 
@@ -41,6 +54,17 @@ def _random_op(rng: random.Random, cfg: RandProgConfig) -> str:
     d = rng.choice(GEN_REGS)
     a = rng.choice(GEN_REGS)
     b = rng.choice(GEN_REGS)
+    if cfg.guard_density and rng.random() < cfg.guard_density:
+        # A compare defining a cc register immediately guards the next op,
+        # so the predicate is live on every path (verifier-clean) while
+        # still exercising guarded def/use logic in every pass.
+        cc = rng.choice(GEN_CC_REGS)
+        cmp_op = rng.choice(["cmplt", "cmpeq", "cmpgt", "cmple"])
+        sense = "" if rng.random() < 0.5 else "!"
+        body = rng.choice([f"add  {d}, {d}, {a}", f"sub  {d}, {d}, {b}",
+                           f"addi {d}, {d}, {rng.randrange(-8, 9)}"])
+        return (f"    {cmp_op} {cc}, {a}, {b}\n"
+                f"    ({sense}{cc}) {body}")
     kind = rng.randrange(8 if cfg.with_memory else 6)
     if kind == 0:
         return f"    li   {d}, {rng.randrange(-100, 100)}"
@@ -76,6 +100,36 @@ def _random_branch(rng: random.Random, target: str) -> str:
     return f"    {op} {a}, {target}"
 
 
+def _pattern_branch(rng: random.Random, cfg: RandProgConfig, target: str,
+                    iters: int) -> str:
+    """A diamond branch with a controlled dynamic outcome profile.
+
+    The loop counter lives in ``r17`` and the bound in ``r18`` (see
+    :func:`random_program`), so inside the loop body we can synthesize
+    branches whose *runtime* behavior — not just shape — stresses the
+    profile classifier: always-same (monotonic), toggle-every-iteration
+    (maximal toggle factor), and flip-once-mid-loop (phased: balanced
+    taken frequency, near-zero toggle).
+    """
+    if not cfg.with_loop or cfg.branch_pattern == "mixed":
+        return _random_branch(rng, target)
+    if cfg.branch_pattern == "monotonic":
+        # r18 holds the (positive) iteration bound: bnez is always taken,
+        # beqz never — a stable branch either way.
+        op = rng.choice(["bnez", "beqz"])
+        return f"    {op} r18, {target}"
+    if cfg.branch_pattern == "alternating":
+        op = rng.choice(["bnez", "beqz"])
+        return (f"    andi r19, r17, 1\n"
+                f"    {op} r19, {target}")
+    if cfg.branch_pattern == "phased":
+        # Taken for the first half of the iterations only: one toggle.
+        return (f"    addi r19, r17, {-max(1, iters // 2)}\n"
+                f"    bgtz r19, {target}")
+    raise ValueError(f"unknown branch_pattern {cfg.branch_pattern!r} "
+                     f"(expected one of {BRANCH_PATTERNS})")
+
+
 def random_program(seed: int = 0,
                    cfg: RandProgConfig | None = None) -> Program:
     """Generate a random, validated, terminating program.
@@ -103,9 +157,10 @@ def random_program(seed: int = 0,
 
     ndiamonds = rng.randrange(1, max(2, cfg.num_blocks))
     helpers = rng.randrange(1, 3) if cfg.with_calls else 0
+    calls_emitted = 0
     for d in range(ndiamonds):
         then_l, join_l = f"then_{d}", f"join_{d}"
-        lines.append(_random_branch(rng, then_l))
+        lines.append(_pattern_branch(rng, cfg, then_l, iters))
         for _ in range(rng.randrange(*cfg.ops_per_block)):
             lines.append(_random_op(rng, cfg))
         lines.append(f"    j    {join_l}")
@@ -113,8 +168,12 @@ def random_program(seed: int = 0,
         for _ in range(rng.randrange(*cfg.ops_per_block)):
             lines.append(_random_op(rng, cfg))
         lines.append(f"{join_l}:")
-        if helpers and rng.random() < 0.5:
+        if helpers and (rng.random() < 0.5
+                        or (not calls_emitted and d == ndiamonds - 1)):
+            # The last diamond forces a call site, so with_calls=True
+            # always yields at least one dynamic jal/jr round trip.
             lines.append(f"    jal  helper_{rng.randrange(helpers)}")
+            calls_emitted += 1
         for _ in range(rng.randrange(*cfg.ops_per_block)):
             lines.append(_random_op(rng, cfg))
 

@@ -1,0 +1,91 @@
+"""Corpus management: persist, load, and replay shrunk reproducers.
+
+Layout (one directory per triage bucket)::
+
+    corpus/
+      <bucket>/
+        <strategy>-<seed>-<scheme>.s      # minimized reproducer (assembly)
+        <strategy>-<seed>-<scheme>.json   # TriageEntry metadata
+
+Replay parses every ``*.s`` file under a corpus root (bucketed or flat —
+the checked-in regression corpus at ``tests/qa/corpus/`` is flat) and
+re-runs the full scheme cross-check on each, so a fixed bug stays fixed
+and a still-open bug keeps failing loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..isa.parser import parse
+from ..isa.program import Program
+from .cells import FUZZ_MAX_STEPS, check_program
+from .triage import TriageEntry
+
+
+def save_reproducer(corpus_dir: str | Path, entry: TriageEntry) -> Path:
+    """Write *entry* (assembly + metadata) into its bucket directory.
+
+    The assembly written is the shrunk reproducer when available, else
+    the original failing program.  Returns the ``.s`` path.
+    """
+    bucket_dir = Path(corpus_dir) / entry.bucket
+    bucket_dir.mkdir(parents=True, exist_ok=True)
+    text = entry.shrunk_text or entry.program_text
+    s_path = bucket_dir / f"{entry.name}.s"
+    s_path.write_text(text.rstrip("\n") + "\n")
+    meta_path = bucket_dir / f"{entry.name}.json"
+    meta_path.write_text(
+        json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n")
+    return s_path
+
+
+def iter_corpus(corpus_dir: str | Path,
+                ) -> Iterator[tuple[Path, Optional[dict]]]:
+    """Yield every ``(.s path, metadata dict or None)`` under the corpus,
+    sorted by path for deterministic replay order."""
+    root = Path(corpus_dir)
+    for s_path in sorted(root.rglob("*.s")):
+        meta_path = s_path.with_suffix(".json")
+        meta: Optional[dict] = None
+        if meta_path.is_file():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                meta = None
+        yield s_path, meta
+
+
+def load_reproducer(s_path: str | Path) -> Program:
+    """Parse one corpus ``.s`` file into a program."""
+    path = Path(s_path)
+    return parse(path.read_text(), name=path.stem)
+
+
+def replay_corpus(corpus_dir: str | Path,
+                  max_steps: int = FUZZ_MAX_STEPS) -> list[dict]:
+    """Re-run every corpus entry through all schemes.
+
+    Returns one record per ``.s`` file: ``{"file", "name", "divergent",
+    "schemes", "error"}``.  A file that fails to parse or whose check
+    crashes is reported as an ``error`` record (counted as divergent by
+    callers), never an exception.  Raises ``FileNotFoundError`` only when
+    the corpus directory itself does not exist.
+    """
+    root = Path(corpus_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(f"no such corpus directory: {root}")
+    records: list[dict] = []
+    for s_path, meta in iter_corpus(root):
+        record = {"file": str(s_path), "name": s_path.stem,
+                  "bucket": (meta or {}).get("bucket"),
+                  "divergent": [], "schemes": {}, "error": None}
+        try:
+            prog = load_reproducer(s_path)
+            record.update(check_program(prog, max_steps))
+        except Exception as exc:  # noqa: BLE001 - broken entry, not a crash
+            record["error"] = f"{type(exc).__name__}: {exc}"
+        records.append(record)
+    return records

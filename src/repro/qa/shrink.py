@@ -1,0 +1,189 @@
+"""Delta-debugging shrinker: minimize a failing program.
+
+Given a program and a failure oracle (``is_failing(candidate) -> bool``),
+:func:`shrink_program` greedily deletes parts of the program while the
+oracle keeps failing, at two granularities:
+
+1. **blocks** — contiguous instruction runs between labels are dropped
+   whole (coarse, removes entire diamonds in one oracle call);
+2. **instructions** — single lines, then now-unreferenced labels.
+
+Candidates are built at the assembly-text level (print → edit → parse):
+a deletion that breaks the program structurally (dangling branch target,
+missing terminator) simply fails to parse or validate and is skipped, so
+the shrinker never needs transform-specific knowledge.  Each accepted
+deletion restarts the pass, guaranteeing a 1-minimal result within the
+oracle-call budget.
+
+The oracle is exception-contained: a candidate that makes the oracle
+*crash* (rather than report failure) is treated as not failing, which
+keeps the shrink anchored to the original bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..isa.program import Program
+
+#: Default cap on oracle invocations per shrink (each is a co-simulation).
+DEFAULT_ORACLE_BUDGET = 600
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimized program plus statistics."""
+
+    program: Program
+    original_len: int
+    shrunk_len: int
+    oracle_calls: int
+    rounds: int
+
+    @property
+    def ratio(self) -> float:
+        """Shrunk size over original size (1.0 = no reduction)."""
+        return self.shrunk_len / self.original_len if self.original_len else 1.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (program travels as printed text)."""
+        return {"original_len": self.original_len,
+                "shrunk_len": self.shrunk_len,
+                "oracle_calls": self.oracle_calls,
+                "rounds": self.rounds,
+                "ratio": round(self.ratio, 4)}
+
+
+def _is_label(line: str) -> bool:
+    stripped = line.strip()
+    return stripped.endswith(":") and not stripped.startswith(".")
+
+
+def _reparse(lines: list[str], template: Program) -> Optional[Program]:
+    """Parse candidate *lines*; None when structurally invalid.
+
+    Data tables (segment image, symbols, code refs) are carried over from
+    *template* — the printer does not emit them, and deleting code never
+    invalidates data.
+    """
+    from ..isa.parser import parse
+
+    try:
+        prog = parse("\n".join(lines), name=template.name)
+        prog.data_symbols = dict(template.data_symbols)
+        prog.data_image = dict(template.data_image)
+        prog.code_refs = dict(template.code_refs)
+        prog.validate()
+        return prog
+    except Exception:  # noqa: BLE001 - invalid candidate, skip it
+        return None
+
+
+def _chunks(lines: list[str]) -> list[tuple[int, int]]:
+    """Label-delimited [start, end) instruction runs, largest first."""
+    out: list[tuple[int, int]] = []
+    start = None
+    for i, line in enumerate(lines):
+        if _is_label(line) or not line.strip():
+            if start is not None and i > start:
+                out.append((start, i))
+            start = None
+        elif start is None:
+            start = i
+    if start is not None and start < len(lines):
+        out.append((start, len(lines)))
+    return sorted(out, key=lambda c: c[1] - c[0], reverse=True)
+
+
+class _Budget:
+    """Mutable oracle-call counter shared across shrink passes."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.calls = 0
+
+    def spent(self) -> bool:
+        return self.calls >= self.limit
+
+
+def _try(lines: list[str], keep: Callable[[Program], bool],
+         template: Program, budget: _Budget) -> Optional[Program]:
+    """Oracle-check one candidate; None when invalid or not failing."""
+    prog = _reparse(lines, template)
+    if prog is None or budget.spent():
+        return None
+    budget.calls += 1
+    try:
+        return prog if keep(prog) else None
+    except Exception:  # noqa: BLE001 - crashing oracle = different bug
+        return None
+
+
+def _delete_pass(lines: list[str], spans: list[tuple[int, int]],
+                 keep: Callable[[Program], bool], template: Program,
+                 budget: _Budget) -> tuple[list[str], bool]:
+    """Try deleting each span once; returns (lines, anything_deleted)."""
+    changed = False
+    for start, end in spans:
+        if budget.spent():
+            break
+        candidate = lines[:start] + lines[end:]
+        if _try(candidate, keep, template, budget) is not None:
+            return candidate, True
+    return lines, changed
+
+
+def shrink_program(prog: Program, is_failing: Callable[[Program], bool],
+                   oracle_budget: int = DEFAULT_ORACLE_BUDGET,
+                   ) -> ShrinkResult:
+    """Minimize *prog* while ``is_failing`` stays true.
+
+    *is_failing* receives a candidate **source** program and must re-run
+    whatever made the original fail (e.g. recompile under the failing
+    scheme and diff-check).  The returned program is 1-minimal with
+    respect to line deletion, or the best reduction reached when
+    *oracle_budget* ran out.
+    """
+    from ..isa.printer import format_program
+
+    budget = _Budget(oracle_budget)
+    lines = format_program(prog).splitlines()
+    best = _reparse(lines, prog)
+    if best is None:  # cannot even round-trip: nothing safe to do
+        return ShrinkResult(prog, len(prog), len(prog), 0, 0)
+
+    rounds = 0
+    progressed = True
+    while progressed and not budget.spent():
+        progressed = False
+        rounds += 1
+        # 1. Coarse: whole label-delimited runs, largest first.
+        while True:
+            lines, deleted = _delete_pass(lines, _chunks(lines), is_failing,
+                                          prog, budget)
+            if not deleted:
+                break
+            progressed = True
+        # 2. Fine: single instruction lines (back to front, so indices
+        #    shift under spans we have not tried yet).
+        while True:
+            spans = [(i, i + 1) for i in range(len(lines) - 1, -1, -1)
+                     if lines[i].strip() and not _is_label(lines[i])]
+            lines, deleted = _delete_pass(lines, spans, is_failing, prog,
+                                          budget)
+            if not deleted:
+                break
+            progressed = True
+        # 3. Cleanup: labels whose references went away with their code.
+        while True:
+            spans = [(i, i + 1) for i in range(len(lines) - 1, -1, -1)
+                     if _is_label(lines[i])]
+            lines, deleted = _delete_pass(lines, spans, is_failing, prog,
+                                          budget)
+            if not deleted:
+                break
+            progressed = True
+
+    shrunk = _reparse(lines, prog) or best
+    return ShrinkResult(shrunk, len(prog), len(shrunk), budget.calls, rounds)

@@ -1,0 +1,105 @@
+"""The seeded strategy lattice driving fuzz-program generation.
+
+A :class:`FuzzStrategy` is a named point in :class:`RandProgConfig` space.
+The lattice spans the shapes the transforms care about — straight-line
+code, diamond chains, counted loops, memory traffic, call-bearing
+programs, guarded (predicated) ops, and the adversarial branch patterns
+that stress the profile classifier (monotonic / alternating / phased).
+
+A campaign walks the lattice round-robin: program *i* of a campaign with
+master seed *S* uses strategy ``LATTICE[i % len]`` and a per-program seed
+derived deterministically from ``(S, i)``, so the same ``--budget`` and
+``--seed`` always regenerate byte-identical populations (and therefore
+hit the artifact cache on re-runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Iterator, Optional, Sequence
+
+from ..isa.program import Program
+from ..isa.randprog import RandProgConfig, random_program
+
+#: Multiplier folding the campaign master seed into per-program seeds
+#: (a large odd constant so neighboring campaigns do not share programs).
+SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class FuzzStrategy:
+    """One named region of generator-configuration space."""
+
+    name: str
+    description: str
+    config: RandProgConfig = field(default_factory=RandProgConfig)
+
+    def program(self, seed: int) -> Program:
+        """Generate this strategy's program for *seed*."""
+        prog = random_program(seed, replace(self.config))
+        prog.name = f"{self.name}-{seed}"
+        return prog
+
+    def config_dict(self) -> dict:
+        """Public generator knobs as a plain dict (for cache keys)."""
+        return {f.name: getattr(self.config, f.name)
+                for f in fields(self.config) if not f.name.startswith("_")}
+
+
+#: The default strategy lattice, in round-robin order.
+LATTICE: tuple[FuzzStrategy, ...] = (
+    FuzzStrategy("diamonds", "loop-free diamond chains, registers only",
+                 RandProgConfig(with_loop=False, with_memory=False,
+                                num_blocks=6)),
+    FuzzStrategy("loops", "counted loops over diamond chains",
+                 RandProgConfig(with_memory=False)),
+    FuzzStrategy("memory", "loads/stores into scratch memory inside loops",
+                 RandProgConfig()),
+    FuzzStrategy("calls", "jal/jr helper calls inside the loop body",
+                 RandProgConfig(with_calls=True)),
+    FuzzStrategy("guarded", "dense predicated (guarded) ops",
+                 RandProgConfig(guard_density=0.35)),
+    FuzzStrategy("guarded-calls", "guards and calls in the same region",
+                 RandProgConfig(guard_density=0.25, with_calls=True)),
+    FuzzStrategy("monotonic", "branches with one outcome every iteration",
+                 RandProgConfig(branch_pattern="monotonic")),
+    FuzzStrategy("alternating", "branches toggling every iteration "
+                                "(maximal toggle factor)",
+                 RandProgConfig(branch_pattern="alternating")),
+    FuzzStrategy("phased", "branches flipping once mid-loop (balanced "
+                           "frequency, near-zero toggle)",
+                 RandProgConfig(branch_pattern="phased",
+                                loop_iterations=(8, 40))),
+    FuzzStrategy("dense", "wide blocks: everything on, big diamonds",
+                 RandProgConfig(num_blocks=7, ops_per_block=(3, 9),
+                                guard_density=0.15, with_calls=True)),
+)
+
+#: Lattice lookup by name.
+BY_NAME: dict[str, FuzzStrategy] = {s.name: s for s in LATTICE}
+
+
+def select_strategies(names: Optional[Sequence[str]] = None,
+                      ) -> tuple[FuzzStrategy, ...]:
+    """Resolve a strategy-name list against the lattice (None = all).
+
+    Raises ``ValueError`` naming the unknown entries, so the CLI can turn
+    it into a clean usage error.
+    """
+    if not names:
+        return LATTICE
+    unknown = [n for n in names if n not in BY_NAME]
+    if unknown:
+        raise ValueError(
+            f"unknown strategies: {', '.join(unknown)} "
+            f"(available: {', '.join(s.name for s in LATTICE)})")
+    return tuple(BY_NAME[n] for n in names)
+
+
+def campaign_plan(budget: int, seed: int,
+                  strategies: Optional[Sequence[FuzzStrategy]] = None,
+                  ) -> Iterator[tuple[FuzzStrategy, int]]:
+    """Yield *budget* deterministic (strategy, program_seed) pairs."""
+    lattice = tuple(strategies) if strategies else LATTICE
+    for i in range(budget):
+        yield lattice[i % len(lattice)], seed * SEED_STRIDE + i

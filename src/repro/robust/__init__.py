@@ -19,7 +19,8 @@ from .sandbox import (
     FAILURE_KINDS, PassFailure, PassSandbox, restore_cfg, snapshot_cfg,
 )
 from .diffcheck import (
-    DiffReport, EquivalenceError, certify, check_equivalence,
+    DIVERGENCE_KINDS, DiffReport, EquivalenceError, certify,
+    check_equivalence,
 )
 from .faults import (
     ALL_FAULTS, CLOBBER_VALUE, FaultClass, PASS_FAULTS, PROFILE_FAULTS,
@@ -31,7 +32,8 @@ __all__ = [
     "verify_program",
     "FAILURE_KINDS", "PassFailure", "PassSandbox", "restore_cfg",
     "snapshot_cfg",
-    "DiffReport", "EquivalenceError", "certify", "check_equivalence",
+    "DIVERGENCE_KINDS", "DiffReport", "EquivalenceError", "certify",
+    "check_equivalence",
     "ALL_FAULTS", "CLOBBER_VALUE", "FaultClass", "PASS_FAULTS",
     "PROFILE_FAULTS", "PROGRAM_FAULTS", "buggy_pass", "corrupt_profile",
     "inject_program_fault",

@@ -32,6 +32,14 @@ from ..sim.memory import Memory
 MIN_BUDGET = 10_000
 
 
+#: Divergence-kind labels :meth:`DiffReport.kind` can return, in the order
+#: they are tested.  Triage buckets (repro.qa) key on these.
+DIVERGENCE_KINDS = (
+    "equivalent", "original-failed", "load-failure", "timeout", "crash",
+    "halt-mismatch", "mem-mismatch", "reg-mismatch",
+)
+
+
 @dataclass
 class DiffReport:
     """Outcome of one differential check."""
@@ -52,6 +60,70 @@ class DiffReport:
         lines = [f"NOT equivalent: {self.reason}"]
         lines += [f"  {m}" for m in self.mismatches[:8]]
         return "\n".join(lines)
+
+    @property
+    def kind(self) -> str:
+        """Coarse divergence class (one of :data:`DIVERGENCE_KINDS`).
+
+        Classifies *how* the check failed — reference run unusable,
+        transformed program failed to load / ran away / trapped, or a
+        clean run ended in the wrong architectural state — so failures
+        with the same root cause bucket together regardless of the exact
+        addresses and values in the message.
+        """
+        if self.equivalent:
+            return "equivalent"
+        if self.reason.startswith("original"):
+            return "original-failed"
+        if "failed to load" in self.reason:
+            return "load-failure"
+        if self.reason.startswith("transformed:"):
+            return ("timeout" if "StepBudgetExceeded" in self.reason
+                    else "crash")
+        first = self.mismatches[0] if self.mismatches else ""
+        if first.startswith("halted:"):
+            return "halt-mismatch"
+        if first.startswith("mem["):
+            return "mem-mismatch"
+        return "reg-mismatch"
+
+    @property
+    def first_diff(self) -> str:
+        """Location token of the first mismatch (``mem[0x...]``, a register
+        name, or the failing pc for crash/timeout kinds); empty when
+        equivalent."""
+        if self.equivalent:
+            return ""
+        if self.mismatches:
+            return self.mismatches[0].split(":", 1)[0]
+        for token in self.reason.split():
+            if token.startswith("pc="):
+                return token.rstrip(":,")
+        return self.reason[:40]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips via :meth:`from_dict`).
+
+        Includes the derived ``kind`` and ``first_diff`` fields so
+        downstream triage can bucket without re-parsing message text.
+        """
+        return {
+            "equivalent": self.equivalent,
+            "reason": self.reason,
+            "original_steps": self.original_steps,
+            "transformed_steps": self.transformed_steps,
+            "mismatches": list(self.mismatches),
+            "kind": self.kind,
+            "first_diff": self.first_diff,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DiffReport":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        return cls(equivalent=d["equivalent"], reason=d["reason"],
+                   original_steps=d["original_steps"],
+                   transformed_steps=d["transformed_steps"],
+                   mismatches=list(d["mismatches"]))
 
 
 def _nonzero_image(mem: Memory) -> dict[int, bytes]:

@@ -1,0 +1,91 @@
+"""Property-based tests for engine keys and cache eviction (hypothesis).
+
+The cache key invariants (stability under dict ordering, sensitivity to
+every field) and the LRU eviction order are exactly the kind of claims a
+handful of examples under-tests — hypothesis searches the input space.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.keys import canonical_json, digest
+
+# JSON-ish scalars that canonical() accepts (NaN breaks JSON equality,
+# so floats are bounded and finite).
+scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**40, max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20))
+keys_st = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=0x7F),
+    min_size=1, max_size=8)
+values = st.recursive(
+    scalars,
+    lambda child: st.one_of(st.lists(child, max_size=4),
+                            st.dictionaries(keys_st, child, max_size=4)),
+    max_leaves=12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(keys_st, values, min_size=1, max_size=6))
+def test_canonical_json_ignores_insertion_order(d):
+    shuffled = dict(reversed(list(d.items())))
+    assert canonical_json(d) == canonical_json(shuffled)
+    assert digest(d) == digest(shuffled)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(keys_st, st.integers(min_value=0, max_value=1000),
+                       min_size=1, max_size=6),
+       st.data())
+def test_digest_sensitive_to_every_field(d, data):
+    """Changing any single value, or dropping any single key, re-keys."""
+    base = digest(d)
+    victim = data.draw(st.sampled_from(sorted(d)))
+    changed = {**d, victim: d[victim] + 1}
+    assert digest(changed) != base
+    dropped = {k: v for k, v in d.items() if k != victim}
+    assert digest(dropped) != base
+
+
+@settings(max_examples=50, deadline=None)
+@given(values)
+def test_digest_is_stable(v):
+    assert digest(v) == digest(v)
+    assert len(digest(v)) == 64
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(list(range(6))))
+def test_lru_eviction_drops_least_recent_first(order):
+    """Whatever order entries were touched, eviction removes the coldest.
+
+    Timestamps are assigned explicitly with os.utime — the property must
+    not depend on filesystem clock granularity.  (tempfile instead of the
+    tmp_path fixture: function-scoped fixtures break hypothesis's
+    per-example isolation.)
+    """
+    with tempfile.TemporaryDirectory() as root:
+        cache = ArtifactCache(root, max_bytes=10**9)  # no eviction yet
+        ks = [digest({"lru-entry": i}) for i in range(6)]
+        for k in ks:
+            cache.put(k, {"v": k})
+        entry_size = cache._path(ks[0]).stat().st_size
+        # Touch entries in the drawn order: later touch = hotter.
+        for age, i in enumerate(order):
+            os.utime(cache._path(ks[i]), (age, age))
+        # Now cap the store so only 3 old entries + the new one fit.
+        cache.max_bytes = 4 * entry_size
+        newest = digest({"lru-entry": "trigger"})
+        cache.put(newest, {"v": "trigger"})
+        os.utime(cache._path(newest), (100, 100))
+        cache._evict()
+
+        survivors = {k for k in ks if cache._path(k).exists()}
+        hottest = {ks[i] for i in order[-3:]}
+        assert survivors == hottest
+        assert cache._path(newest).exists()
+        assert cache.counters.evictions == 3

@@ -1,0 +1,49 @@
+"""Fuzz cells: keys, execution, and crash containment."""
+
+import dataclasses
+
+from repro.qa.cells import (
+    FUZZ_SCHEMES, FuzzCellSpec, check_program, execute_fuzz_cell,
+    fuzz_cell_key,
+)
+from repro.qa.strategies import BY_NAME
+
+
+def test_fuzz_cell_key_stable_and_sensitive():
+    spec = FuzzCellSpec("loops", 42)
+    assert fuzz_cell_key(spec) == fuzz_cell_key(FuzzCellSpec("loops", 42))
+    assert fuzz_cell_key(spec) != fuzz_cell_key(FuzzCellSpec("loops", 43))
+    assert fuzz_cell_key(spec) != fuzz_cell_key(FuzzCellSpec("memory", 42))
+    assert fuzz_cell_key(spec) != fuzz_cell_key(
+        dataclasses.replace(spec, max_steps=spec.max_steps + 1))
+
+
+def test_execute_fuzz_cell_clean_payload():
+    payload = execute_fuzz_cell(FuzzCellSpec("diamonds", 7))
+    assert payload["error"] is None
+    assert payload["divergent"] == []
+    assert set(payload["schemes"]) == {name for name, _ in FUZZ_SCHEMES}
+    for verdict in payload["schemes"].values():
+        assert verdict["report"]["equivalent"] is True
+        assert verdict["report"]["kind"] == "equivalent"
+
+
+def test_execute_fuzz_cell_contains_crashes():
+    payload = execute_fuzz_cell(FuzzCellSpec("no-such-strategy", 0))
+    assert payload["error"] is not None
+    assert payload["schemes"] == {}
+    assert "KeyError" in payload["error"]
+
+
+def test_check_program_runs_all_schemes():
+    prog = BY_NAME["guarded"].program(3)
+    verdicts = check_program(prog)
+    assert verdicts["divergent"] == []
+    assert len(verdicts["schemes"]) == len(FUZZ_SCHEMES)
+
+
+def test_payload_is_json_serializable():
+    import json
+
+    payload = execute_fuzz_cell(FuzzCellSpec("calls", 5))
+    assert json.loads(json.dumps(payload)) == payload

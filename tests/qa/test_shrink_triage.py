@@ -1,0 +1,158 @@
+"""Shrinking and triage: minimization, bucket keys, structured reports."""
+
+import random
+
+import pytest
+
+from repro.isa.printer import format_program
+from repro.isa.randprog import random_program
+from repro.qa.shrink import ShrinkResult, shrink_program
+from repro.qa.triage import (
+    bucket_id, triage_cell_error, triage_divergence,
+)
+from repro.robust.diffcheck import (
+    DIVERGENCE_KINDS, DiffReport, check_equivalence,
+)
+from repro.robust.faults import inject_program_fault
+
+MAX_STEPS = 200_000
+
+
+def _fault_oracle(fault, kind=None):
+    """Does injecting *fault* into a candidate make it diverge?"""
+    def oracle(candidate):
+        for bad in inject_program_fault(fault, candidate, random.Random(0)):
+            report = check_equivalence(candidate, bad, max_steps=MAX_STEPS)
+            if not report.equivalent:
+                return kind is None or report.kind == kind
+        return False
+    return oracle
+
+
+def test_shrink_clobbered_register_to_minimal():
+    prog = random_program(5)
+    oracle = _fault_oracle("clobbered-register", kind="mem-mismatch")
+    assert oracle(prog)
+    result = shrink_program(prog, oracle)
+    assert result.shrunk_len <= 25
+    assert result.shrunk_len < result.original_len
+    assert oracle(result.program), "shrunk program no longer reproduces"
+    assert 0 < result.ratio < 1
+
+
+def test_shrink_noop_when_oracle_never_fails():
+    prog = random_program(1)
+    result = shrink_program(prog, lambda p: False)
+    assert result.shrunk_len == result.original_len
+    assert format_program(result.program) == format_program(prog)
+
+
+def test_shrink_contains_crashing_oracle():
+    prog = random_program(2)
+    calls = {"n": 0}
+
+    def oracle(candidate):
+        calls["n"] += 1
+        if len(candidate) < len(prog):
+            raise RuntimeError("oracle crash on candidates")
+        return True
+
+    result = shrink_program(prog, oracle)
+    assert result.shrunk_len == result.original_len
+    assert calls["n"] >= 1
+
+
+def test_shrink_respects_oracle_budget():
+    prog = random_program(3)
+    oracle = _fault_oracle("clobbered-register")
+    result = shrink_program(prog, oracle, oracle_budget=5)
+    assert result.oracle_calls <= 5
+
+
+def test_shrink_result_to_dict():
+    d = ShrinkResult(random_program(0), 40, 10, 55, 2).to_dict()
+    assert d == {"original_len": 40, "shrunk_len": 10, "oracle_calls": 55,
+                 "rounds": 2, "ratio": 0.25}
+
+
+# -- triage -----------------------------------------------------------------
+
+
+def test_bucket_id_sanitizes_and_masks_addresses():
+    b = bucket_id("speculate", "mem-mismatch", "mem[0x00051A34]")
+    assert b == "speculate--mem-mismatch--mem-0x51xxx"
+    # Same page, different offset: same bucket.
+    assert b == bucket_id("speculate", "mem-mismatch", "mem[0x00051FF0]")
+    assert b != bucket_id("speculate", "mem-mismatch", "mem[0x00052000]")
+    assert "/" not in bucket_id("a/b", "k ind", "lo:c")
+
+
+def test_triage_divergence_from_payload():
+    payload = {
+        "strategy": "loops", "seed": 9,
+        "schemes": {"combined": {
+            "report": {"equivalent": False, "reason": "x",
+                       "original_steps": 100, "transformed_steps": 90,
+                       "mismatches": ["mem[0x00051000]: 0x01 != 0x02"],
+                       "kind": "mem-mismatch",
+                       "first_diff": "mem[0x00051000]"},
+            "fallback": None, "degraded": False, "failing_stage": None,
+        }},
+        "divergent": ["combined"], "error": None,
+    }
+    entry = triage_divergence(payload, "combined")
+    assert entry.bucket == "combined--mem-mismatch--mem-0x51xxx"
+    assert entry.failing_pass == "combined"  # silent miscompile: no stage
+    assert entry.name == "loops-9-combined"
+    meta = entry.to_dict()
+    assert meta["bucket"] == entry.bucket
+    assert meta["report"]["kind"] == "mem-mismatch"
+
+
+def test_triage_cell_error():
+    entry = triage_cell_error({"strategy": "dense", "seed": 1,
+                               "error": "KeyError: 'boom'"})
+    assert entry.kind == "cell-error"
+    assert entry.bucket.startswith("harness--cell-error--")
+
+
+# -- DiffReport structured form ---------------------------------------------
+
+
+def test_diffreport_roundtrip():
+    report = DiffReport(False, reason="3 architectural mismatch(es)",
+                        original_steps=10, transformed_steps=12,
+                        mismatches=["mem[0x00051000]: 0x01 != 0x02"])
+    d = report.to_dict()
+    assert d["kind"] == "mem-mismatch"
+    assert d["first_diff"] == "mem[0x00051000]"
+    back = DiffReport.from_dict(d)
+    assert back.to_dict() == d
+
+
+@pytest.mark.parametrize("report,expected", [
+    (DiffReport(True), "equivalent"),
+    (DiffReport(False, reason="original: StepBudgetExceeded at pc=4 ..."),
+     "original-failed"),
+    (DiffReport(False, reason="transformed failed to load: boom"),
+     "load-failure"),
+    (DiffReport(False, reason="transformed: StepBudgetExceeded at pc=2 "
+                              "after 80000 steps"), "timeout"),
+    (DiffReport(False, reason="transformed: AlignmentError at pc=7 "
+                              "after 12 steps"), "crash"),
+    (DiffReport(False, reason="r", mismatches=["halted: True != False"]),
+     "halt-mismatch"),
+    (DiffReport(False, reason="r", mismatches=["mem[0x1]: 0x0 != 0x1"]),
+     "mem-mismatch"),
+    (DiffReport(False, reason="r", mismatches=["r5: 1 != 2"]),
+     "reg-mismatch"),
+])
+def test_diffreport_kinds(report, expected):
+    assert report.kind == expected
+    assert expected in DIVERGENCE_KINDS
+
+
+def test_diffreport_first_diff_from_crash_reason():
+    report = DiffReport(False, reason="transformed: SimulationError at "
+                                      "pc=13 after 9 steps: boom")
+    assert report.first_diff == "pc=13"

@@ -11,7 +11,7 @@ import repro
 PACKAGES = [
     "repro", "repro.isa", "repro.cfg", "repro.sim", "repro.profilefb",
     "repro.sched", "repro.transform", "repro.core", "repro.workloads",
-    "repro.eval", "repro.robust", "repro.engine",
+    "repro.eval", "repro.robust", "repro.engine", "repro.qa",
 ]
 
 

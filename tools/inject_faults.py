@@ -15,7 +15,15 @@ of the containment ladder fired:
 A fault that slips through every layer is UNCAUGHT and the harness exits
 nonzero — this script is the executable claim behind docs/ROBUSTNESS.md.
 
+``--fuzz`` additionally drives the :mod:`repro.qa` campaign machinery
+end to end against deliberately miscompiled programs: each diffcheck-class
+fault is injected into fuzz-generated programs and must be (1) caught by
+the equivalence oracle, (2) shrunk to a minimal reproducer (<= 25
+instructions), and (3) triaged into a stable bucket — the executable
+claim behind docs/QA.md.
+
 Run:  python tools/inject_faults.py [--scale 0.1] [--benchmarks a,b]
+                                    [--fuzz] [--fuzz-seed N]
 """
 
 from __future__ import annotations
@@ -109,6 +117,78 @@ def check_pass_fault(name: str, prog: Program) -> tuple[bool, str]:
     return True, "sandbox"
 
 
+#: Fault classes the --fuzz mode exercises (silent miscompiles: the ones
+#: only the differential oracle can catch).
+FUZZ_FAULTS = ("swapped-operands", "clobbered-register", "branch-retarget")
+#: The qa acceptance bar: every injected fault must shrink to this size.
+FUZZ_SHRINK_LIMIT = 25
+#: Candidate-run step budget during --fuzz shrinking (programs are tiny).
+FUZZ_STEP_CAP = 200_000
+
+
+def _fault_oracle(fault: str):
+    """Oracle factory: does injecting *fault* into a candidate diverge?
+
+    Returns ``(oracle, classify)`` where ``classify(prog)`` gives the
+    divergence kind of the first diverging injection (or None).
+    """
+    def classify(candidate: Program):
+        for bad in inject_program_fault(fault, candidate, random.Random(0)):
+            report = check_equivalence(candidate, bad,
+                                       max_steps=FUZZ_STEP_CAP)
+            if not report.equivalent:
+                return report
+        return None
+
+    def oracle(candidate: Program) -> bool:
+        return classify(candidate) is not None
+
+    return oracle, classify
+
+
+def check_fuzz_pipeline(seed: int) -> int:
+    """Prove the qa loop catches, shrinks, and buckets injected faults."""
+    from repro.isa.printer import format_program
+    from repro.isa.randprog import random_program
+    from repro.qa import TriageEntry, shrink_program
+
+    failures = 0
+    print(f"fuzz pipeline (seed {seed}):")
+    for fault in FUZZ_FAULTS:
+        oracle, classify = _fault_oracle(fault)
+        prog = report = None
+        for s in range(seed, seed + 20):
+            candidate = random_program(s)
+            report = classify(candidate)
+            if report is not None:
+                prog = candidate
+                break
+        if prog is None:
+            print(f"  {fault:<22} UNCAUGHT  [no divergence in 20 programs]")
+            failures += 1
+            continue
+        kind = report.kind
+        anchored = lambda c, _k=kind, _cl=classify: (  # noqa: E731
+            (r := _cl(c)) is not None and r.kind == _k)
+        shrunk = shrink_program(prog, anchored)
+        entry = TriageEntry(
+            strategy="inject", seed=s, scheme=fault, kind=kind,
+            location=report.first_diff, failing_pass=fault,
+            report=report.to_dict(),
+            program_text=format_program(prog),
+            shrunk_text=format_program(shrunk.program),
+            shrink=shrunk.to_dict())
+        ok = shrunk.shrunk_len <= FUZZ_SHRINK_LIMIT
+        failures += not ok
+        print(f"  {fault:<22} {'caught' if ok else 'UNSHRUNK':<9} "
+              f"[{shrunk.original_len} -> {shrunk.shrunk_len} instrs, "
+              f"bucket {entry.bucket}]")
+    print(f"\nfuzz pipeline: "
+          + ("all faults caught, shrunk and bucketed" if not failures
+             else f"{failures} FAILED"))
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the taxonomy; exit 0 iff every fault class was caught."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -117,7 +197,15 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--benchmarks", default="compress,espresso",
                     help="comma-separated benchmark names (default small "
                          "pair); 'all' for the full suite")
+    ap.add_argument("--fuzz", action="store_true",
+                    help="only run the qa catch/shrink/triage pipeline "
+                         "against injected miscompiles")
+    ap.add_argument("--fuzz-seed", type=int, default=0,
+                    help="base program seed for --fuzz (default 0)")
     args = ap.parse_args(argv)
+
+    if args.fuzz:
+        return 1 if check_fuzz_pipeline(args.fuzz_seed) else 0
 
     programs = benchmark_programs(args.scale)
     if args.benchmarks != "all":
