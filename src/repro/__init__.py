@@ -15,6 +15,9 @@ The contribution      repro.core         (cost model, Figure 6 algorithm,
                                           compile_baseline/compile_proposed)
 Workloads             repro.workloads    (compress/espresso/xlisp/grep kernels)
 Experiments           repro.eval         (scheme runner, Tables 1-4)
+Observability         repro.obs          (tracing spans, metrics, profiling)
+Unified facade        repro.api          (Session: one front door for
+                                          benchmark/suite/sweep/fuzz runs)
 
 Quickstart::
 
@@ -38,6 +41,7 @@ from .core import (
     DEFAULT_HEURISTICS, FeedbackHeuristics, compile_baseline,
     compile_proposed, compile_variant, decide,
 )
+from .api import Session
 
 __version__ = "1.0.0"
 
@@ -48,5 +52,6 @@ __all__ = [
     "BranchHistory", "ProfileDB",
     "DEFAULT_HEURISTICS", "FeedbackHeuristics", "compile_baseline",
     "compile_proposed", "compile_variant", "decide",
+    "Session",
     "__version__",
 ]

@@ -20,12 +20,18 @@ Commands:
 * ``cache``   — inspect (``stats``) or wipe (``clear``) the engine's
   content-addressed artifact cache;
 * ``sweep``   — run a declarative design-space sweep and write one JSON
-  record per (point, benchmark, scheme) cell.
+  record per (point, benchmark, scheme) cell;
+* ``trace``   — ``trace run`` executes a traced suite (JSONL spans to
+  ``--out``), ``trace summarize`` renders a per-span timing table from a
+  trace file (see docs/OBSERVABILITY.md).
 
-``tables`` and ``sweep`` run through :mod:`repro.engine`: results are
-cached in ``.repro-cache/`` (override with ``--cache-dir`` or
-``$REPRO_CACHE_DIR``, disable with ``--no-cache``) and cache misses fan
-out over ``--jobs N`` worker processes.
+Every experiment command (``tables``, ``sweep``, ``fuzz``, ``verify``)
+constructs exactly one :class:`repro.api.Session` from the shared engine
+flags, so ``--jobs``, ``--no-cache``, ``--cache-dir``, and ``--trace``
+behave identically everywhere: results are cached in ``.repro-cache/``
+(override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``, disable with
+``--no-cache``), cache misses fan out over ``--jobs N`` worker
+processes, and ``--trace FILE`` writes a JSONL span trace of the run.
 """
 
 from __future__ import annotations
@@ -34,10 +40,11 @@ import argparse
 import sys
 from pathlib import Path
 
+from .api import Session
 from .core import compile_baseline, compile_proposed
 from .eval import (
     format_improvements, format_table1, format_table2, format_table3,
-    format_table4, run_suite, suite_failures,
+    format_table4, suite_failures,
 )
 from .isa import format_program, parse
 from .isa.program import Program
@@ -68,6 +75,21 @@ def _make_cache(args: argparse.Namespace):
     return ArtifactCache(getattr(args, "cache_dir", None))
 
 
+def _session_from(args: argparse.Namespace, *, cache=None,
+                  trace_path=None, **kw) -> Session:
+    """One :class:`Session` per CLI invocation, from the shared flags.
+
+    Explicit *cache*/*trace_path* arguments override the flag-derived
+    values (``trace run`` routes its ``--out`` here).
+    """
+    return Session(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache if cache is not None else _make_cache(args),
+        trace_path=(trace_path if trace_path is not None
+                    else getattr(args, "trace", None)),
+        **kw)
+
+
 def _report_cache(store) -> None:
     """One stderr line of cache traffic (greppable by tools/smoke.sh)."""
     if store is None:
@@ -78,22 +100,23 @@ def _report_cache(store) -> None:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    store = _make_cache(args)
-    try:
-        runs = run_suite(scale=args.scale, strict=args.strict,
-                         jobs=args.jobs, cache=store,
-                         progress=lambda b: print(f"running {b} ...",
-                                                  file=sys.stderr))
-    except Exception as exc:  # noqa: BLE001 - --strict fail-fast exit
-        if args.strict:
-            print(f"FATAL ({type(exc).__name__}): {exc}", file=sys.stderr)
-            return 2
-        raise
+    with _session_from(args, strict=args.strict) as session:
+        try:
+            runs = session.run_suite(
+                scale=args.scale,
+                progress=lambda b: print(f"running {b} ...",
+                                         file=sys.stderr))
+        except Exception as exc:  # noqa: BLE001 - --strict fail-fast exit
+            if args.strict:
+                print(f"FATAL ({type(exc).__name__}): {exc}",
+                      file=sys.stderr)
+                return 2
+            raise
     for text in (format_table1(runs), "", format_table2(), "",
                  format_table3(runs), "", format_table4(runs), "",
                  format_improvements(runs)):
         print(text)
-    _report_cache(store)
+    _report_cache(session.cache)
     failed = suite_failures(runs)
     for cell in failed:
         print(f"warning: {cell.benchmark}/{cell.scheme} failed: "
@@ -136,7 +159,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
-    from .engine import SweepSpec, grid_from_dict, run_sweep
+    from .engine import SweepSpec, grid_from_dict
 
     def _parse_axes(pairs: list[str]) -> dict:
         grid: dict = {}
@@ -169,10 +192,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec.validate()
     except ValueError as exc:
         raise SystemExit(f"invalid sweep: {exc}")
-    store = _make_cache(args)
-    records = run_sweep(
-        spec, jobs=args.jobs, cache=store,
-        progress=lambda msg: print(msg, file=sys.stderr))
+    with _session_from(args) as session:
+        records = session.sweep(
+            spec, progress=lambda msg: print(msg, file=sys.stderr))
     text = json.dumps(records, indent=2, sort_keys=True) + "\n"
     if args.out:
         Path(args.out).write_text(text)
@@ -180,7 +202,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
     else:
         print(text, end="")
-    _report_cache(store)
+    _report_cache(session.cache)
     return 0
 
 
@@ -192,7 +214,7 @@ def _usage_error(message: str) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run a differential fuzzing campaign (or replay a corpus)."""
-    from .qa import CampaignConfig, replay_corpus, run_campaign
+    from .qa import replay_corpus
 
     if args.jobs < 1:
         return _usage_error(f"--jobs must be >= 1 (got {args.jobs})")
@@ -217,18 +239,19 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"{'all clean' if not bad else f'{bad} FAILED'}")
         return 1 if bad else 0
 
-    cfg = CampaignConfig(
-        budget=args.budget, seed=args.seed, jobs=args.jobs,
-        shrink=args.shrink, max_steps=args.max_steps,
-        strategies=args.strategies.split(",") if args.strategies else None,
-        corpus_dir=args.corpus, cache=_make_cache(args))
-    try:
-        result = run_campaign(
-            cfg, progress=lambda msg: print(msg, file=sys.stderr))
-    except ValueError as exc:  # unknown strategy names
-        return _usage_error(str(exc))
+    with _session_from(args, max_steps=args.max_steps) as session:
+        try:
+            result = session.fuzz(
+                budget=args.budget, seed=args.seed, shrink=args.shrink,
+                max_steps=args.max_steps,
+                strategies=(args.strategies.split(",")
+                            if args.strategies else None),
+                corpus_dir=args.corpus,
+                progress=lambda msg: print(msg, file=sys.stderr))
+        except ValueError as exc:  # unknown strategy names
+            return _usage_error(str(exc))
     print(result.summary.format())
-    _report_cache(cfg.cache)
+    _report_cache(session.cache)
     return 0 if result.summary.clean else 1
 
 
@@ -250,6 +273,18 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    with _session_from(args) as session:
+        return _verify_in_session(args, session)
+
+
+def _verify_in_session(args: argparse.Namespace, session: Session) -> int:
+    """Body of ``verify``, run inside the session's observability scope.
+
+    Verification always recompiles (the point is to check the compiler
+    that exists *now*, not a cached artifact), so the session's cache is
+    deliberately not consulted; the engine flags still matter for
+    ``--trace`` and flag uniformity across subcommands.
+    """
     from .robust import check_equivalence, verify_program
 
     names = sorted(BENCHMARKS) if args.program == "all" else [args.program]
@@ -289,11 +324,58 @@ def cmd_run(args: argparse.Namespace) -> int:
         prog = compile_proposed(prog).program
     elif not args.raw:
         prog = compile_baseline(prog).program
+    observer = None
+    if args.sample:
+        from .obs import PipelineObserver
+
+        observer = PipelineObserver(sample_interval=args.sample)
     fsim = FunctionalSim(prog, record_outcomes=False)
-    stats = TimingSim(r10k_config(args.predictor)).run(fsim.trace())
+    stats = TimingSim(r10k_config(args.predictor),
+                      observer=observer).run(fsim.trace())
     print(f"program    : {prog.name}")
     print(f"predictor  : {args.predictor}")
     print(stats.summary())
+    if observer is not None:
+        from .obs import heat_report
+
+        print()
+        print(heat_report(observer.pc_samples, prog))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace run`` / ``trace summarize`` — see docs/OBSERVABILITY.md."""
+    from .obs import read_trace, summarize_trace
+
+    if args.action == "summarize":
+        if not args.file:
+            return _usage_error("trace summarize requires a trace FILE")
+        try:
+            records = read_trace(args.file)
+        except (OSError, ValueError) as exc:
+            return _usage_error(f"cannot read trace: {exc}")
+        print(summarize_trace(records))
+        return 0
+
+    # action == "run": a traced (and optionally metric-counted) suite run.
+    # Spans are process-local, so the traced suite runs with the session's
+    # default jobs=1 unless the caller insists on a pool.
+    with _session_from(args, trace_path=args.out,
+                       metrics=args.metrics) as session:
+        session.run_suite(
+            scale=args.scale,
+            progress=lambda b: print(f"running {b} ...", file=sys.stderr))
+        emitted = session._tracer.emitted if session._tracer else 0
+        print(f"{emitted} spans written to {args.out}", file=sys.stderr)
+    if args.metrics:
+        import json
+
+        from .obs import metrics_snapshot
+
+        print(json.dumps(metrics_snapshot(), indent=2, sort_keys=True))
+    if args.summarize:
+        print(summarize_trace(read_trace(args.out)))
+    _report_cache(session.cache)
     return 0
 
 
@@ -312,6 +394,9 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--cache-dir", metavar="DIR",
                        help="artifact cache directory (default "
                             ".repro-cache/ or $REPRO_CACHE_DIR)")
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a JSONL span trace of this run to FILE "
+                            "(see docs/OBSERVABILITY.md)")
 
     p = sub.add_parser("tables", help="regenerate Tables 1-4")
     p.add_argument("--scale", type=float, default=1.0,
@@ -370,11 +455,14 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser(
         "verify",
-        help="IR-verify + differentially check compiled benchmarks")
+        help="IR-verify + differentially check compiled benchmarks "
+             "(always recompiles; the cache flags exist for flag "
+             "uniformity and --trace)")
     p.add_argument("program", help="benchmark name, .s file, or 'all'")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--max-steps", type=int, default=20_000_000,
                    help="step budget for the reference run")
+    _engine_flags(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -404,7 +492,38 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cache-dir", metavar="DIR",
                    help="artifact cache directory (default .repro-cache/ "
                         "or $REPRO_CACHE_DIR)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a JSONL span trace of this run to FILE")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a traced suite or summarize an existing trace file")
+    p.add_argument("action", choices=["run", "summarize"],
+                   help="run: traced suite to --out; summarize: per-span "
+                        "timing table of FILE")
+    p.add_argument("file", nargs="?",
+                   help="trace file to summarize (summarize only)")
+    p.add_argument("--scale", type=float, default=0.3,
+                   help="workload scale factor for trace run (default 0.3)")
+    p.add_argument("--out", metavar="FILE", default="trace.jsonl",
+                   help="trace output path for trace run "
+                        "(default trace.jsonl)")
+    p.add_argument("--summarize", action="store_true",
+                   help="after trace run, also print the span summary")
+    p.add_argument("--metrics", action="store_true",
+                   help="enable the metrics registry during trace run and "
+                        "print its JSON snapshot")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (spans are process-local: "
+                        "workers do not contribute spans, so the default "
+                        "is serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache for this run")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="artifact cache directory (default .repro-cache/ "
+                        "or $REPRO_CACHE_DIR)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("run", help="simulate a program")
     p.add_argument("program", help="benchmark name or .s file")
@@ -415,6 +534,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="compile with the proposed pipeline first")
     p.add_argument("--raw", action="store_true",
                    help="skip baseline local scheduling")
+    p.add_argument("--sample", type=int, default=0, metavar="N",
+                   help="sample every N-th retired instruction and print "
+                        "a per-basic-block heat report")
     p.set_defaults(func=cmd_run)
 
     args = ap.parse_args(argv)

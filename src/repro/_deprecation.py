@@ -1,0 +1,56 @@
+"""Deprecation shims for the pre-:class:`repro.api.Session` entry points.
+
+The facade consolidation keeps every legacy free function working —
+``repro.eval.run_benchmark``/``run_suite``, ``repro.engine.run_sweep``,
+``repro.qa.run_campaign`` — but each now warns once per call site that
+:class:`repro.api.Session` is the supported front door.
+
+The shim carries the real implementation on its ``_deprecated_impl``
+attribute so *internal* callers (e.g. the engine suite's serial path)
+can execute it without triggering the user-facing warning, while still
+resolving the name through the module at call time: a test that
+monkeypatches the public name installs a plain function without the
+attribute, which internal callers then use directly — the
+fault-injection contract survives the deprecation.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable
+
+
+def deprecated(replacement: str, name: str = "") -> Callable:
+    """Wrap an implementation in a ``DeprecationWarning``-emitting shim.
+
+    *replacement* is what the warning points the caller at; *name* is the
+    public name being deprecated (default: the implementation's name with
+    a trailing ``_impl`` stripped).
+    """
+    def deco(fn: Callable) -> Callable:
+        public = name or fn.__name__.removesuffix("_impl")
+
+        @functools.wraps(fn)
+        def shim(*args, **kwargs):
+            warnings.warn(
+                f"{fn.__module__}.{public}() is deprecated; "
+                f"use {replacement} instead",
+                DeprecationWarning, stacklevel=2)
+            return fn(*args, **kwargs)
+
+        shim.__name__ = public
+        shim.__qualname__ = public
+        shim._deprecated_impl = fn
+        return shim
+    return deco
+
+
+def resolve_impl(fn: Callable) -> Callable:
+    """The warning-free implementation behind a shim (or *fn* itself).
+
+    Internal call sites use this after a call-time attribute lookup, so
+    monkeypatched replacements (which lack ``_deprecated_impl``) still
+    intercept.
+    """
+    return getattr(fn, "_deprecated_impl", fn)

@@ -1,0 +1,167 @@
+"""The unified experiment front door: :class:`Session`.
+
+After PRs 1–3 the repository had four overlapping ways to run an
+experiment (``eval.run_benchmark``, ``eval.run_suite``,
+``engine.run_sweep``, ``qa.run_campaign``), each with slightly different
+signatures for the same knobs.  A :class:`Session` holds those knobs
+once — heuristics, machine-config overrides, artifact cache, worker
+count, step budget, and the observability sinks — and exposes one method
+per experiment kind, all delegating to the existing implementations (so
+results are byte-identical to the legacy free functions, which now warn
+via :mod:`repro._deprecation`).
+
+Usage::
+
+    from repro.api import Session
+
+    with Session(jobs=4, cache=True, trace_path="trace.jsonl") as s:
+        runs = s.run_suite(scale=0.3)
+        campaign = s.fuzz(budget=50, seed=0)
+
+Entering the session installs the JSONL tracer (when ``trace_path`` is
+set) and enables the metrics registry (when ``metrics=True``); exiting
+restores both, so observability state never leaks across sessions.  The
+CLI builds exactly one Session per invocation, which is what makes
+``--jobs/--cache-dir/--no-cache/--trace`` behave identically across
+``verify``, ``tables``, ``sweep``, and ``fuzz``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from ._deprecation import resolve_impl
+from .core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
+from .engine.suite import CacheLike, coerce_cache
+from .obs import metrics as _metrics
+from .obs import trace as _trace
+
+
+class Session:
+    """One configured experiment context (see module docstring).
+
+    Construction only records configuration; :meth:`start` (or entering
+    the context manager) activates the observability sinks.  Running
+    methods outside the context works too — they just run untraced
+    unless a tracer is already installed.
+    """
+
+    def __init__(self,
+                 heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+                 config_overrides: Optional[dict] = None,
+                 cache: CacheLike = None,
+                 jobs: int = 1,
+                 max_steps: int = 50_000_000,
+                 strict: bool = False,
+                 timeout: Optional[float] = None,
+                 trace_path: Optional[Union[str, Path]] = None,
+                 metrics: bool = False):
+        self.heur = heur
+        self.config_overrides = dict(config_overrides or {})
+        self.cache = coerce_cache(cache)
+        self.jobs = jobs
+        self.max_steps = max_steps
+        self.strict = strict
+        self.timeout = timeout
+        self.trace_path = trace_path
+        self.metrics = metrics
+        self._tracer: Optional[_trace.Tracer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Session":
+        """Activate the observability sinks (idempotent)."""
+        if self.trace_path is not None and self._tracer is None:
+            self._tracer = _trace.Tracer(self.trace_path)
+            _trace.install(self._tracer)
+        if self.metrics:
+            _metrics.metrics_enable()
+        return self
+
+    def close(self) -> None:
+        """Deactivate and flush the observability sinks (idempotent)."""
+        if self._tracer is not None:
+            if _trace.active_tracer() is self._tracer:
+                _trace.uninstall()
+            self._tracer.close()
+            self._tracer = None
+        if self.metrics:
+            _metrics.metrics_disable()
+
+    def __enter__(self) -> "Session":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- experiments -------------------------------------------------------
+
+    def run_benchmark(self, name: str, prog, *,
+                      max_steps: Optional[int] = None,
+                      strict: Optional[bool] = None):
+        """Run the three schemes on one program (serial, uncached)."""
+        from .eval import runner as _runner
+
+        fn = resolve_impl(_runner.run_benchmark)
+        return fn(name, prog, heur=self.heur,
+                  config_overrides=self.config_overrides or None,
+                  max_steps=self.max_steps if max_steps is None
+                  else max_steps,
+                  strict=self.strict if strict is None else strict)
+
+    def run_suite(self, scale: float = 1.0, *,
+                  benchmarks: Optional[dict] = None,
+                  progress: Optional[Callable[[str], None]] = None,
+                  seed: Optional[int] = None,
+                  max_steps: Optional[int] = None,
+                  strict: Optional[bool] = None):
+        """Run the full suite through the session's cache and pool."""
+        from .engine import suite as _suite
+
+        return _suite.run_suite(
+            scale=scale, heur=self.heur, benchmarks=benchmarks,
+            config_overrides=self.config_overrides or None,
+            progress=progress,
+            max_steps=self.max_steps if max_steps is None else max_steps,
+            strict=self.strict if strict is None else strict,
+            jobs=self.jobs, cache=self.cache, timeout=self.timeout,
+            seed=seed)
+
+    def sweep(self, spec, *,
+              progress: Optional[Callable[[str], None]] = None):
+        """Evaluate a :class:`~repro.engine.sweep.SweepSpec` grid."""
+        from .engine import sweep as _sweep
+
+        fn = resolve_impl(_sweep.run_sweep)
+        return fn(spec, jobs=self.jobs, cache=self.cache,
+                  progress=progress, timeout=self.timeout)
+
+    def fuzz(self, cfg=None, *,
+             progress: Optional[Callable[[str], None]] = None, **kw):
+        """Run a differential fuzzing campaign.
+
+        Pass a full :class:`~repro.qa.campaign.CampaignConfig` as *cfg*,
+        or keyword fields for one — the session supplies ``jobs`` and
+        ``cache`` unless overridden.
+        """
+        from .qa import campaign as _campaign
+
+        if cfg is None:
+            kw.setdefault("jobs", self.jobs)
+            kw.setdefault("cache", self.cache)
+            cfg = _campaign.CampaignConfig(**kw)
+        fn = resolve_impl(_campaign.run_campaign)
+        return fn(cfg, progress=progress)
+
+    # -- reporting ---------------------------------------------------------
+
+    def cache_stats(self) -> Optional[dict]:
+        """The artifact cache's stats snapshot (None when caching is off)."""
+        return self.cache.stats() if self.cache is not None else None
+
+    def __repr__(self) -> str:
+        return (f"Session(jobs={self.jobs}, "
+                f"cache={'on' if self.cache else 'off'}, "
+                f"trace={self.trace_path!r}, metrics={self.metrics})")

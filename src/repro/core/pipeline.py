@@ -34,6 +34,8 @@ from typing import Optional
 from ..cfg.graph import CFG, build_cfg
 from ..cfg.loops import LoopForest
 from ..isa.program import Program
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span as obs_span
 from ..profilefb.profiledb import ProfileDB
 from ..robust.sandbox import PassFailure, PassSandbox
 from ..robust.verifier import VerificationError, verify_program
@@ -46,6 +48,7 @@ from ..transform.dce import eliminate_dead_code
 from ..transform.ifconvert import if_convert_diamond
 from .algorithm import DecisionPlan, decide
 from .heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
+from .serde import check as serde_check, stamp as serde_stamp
 
 
 @dataclass
@@ -98,7 +101,7 @@ class CompileResult:
         uids, so it is deliberately dropped — ``from_dict`` restores
         ``profile=None``.  Consumers needing feedback data re-profile.
         """
-        return {
+        return serde_stamp({
             "program": self.program.to_dict(),
             "plan": self.plan.to_dict() if self.plan is not None else None,
             "splits_applied": self.splits_applied,
@@ -109,11 +112,13 @@ class CompileResult:
                               if self.region_report is not None else None),
             "failures": [f.to_dict() for f in self.failures],
             "fallback": self.fallback,
-        }
+        })
 
     @classmethod
     def from_dict(cls, d: dict) -> "CompileResult":
-        """Inverse of :meth:`to_dict` (``profile`` is restored as None)."""
+        """Inverse of :meth:`to_dict` (``profile`` is restored as None;
+        the schema version is checked)."""
+        serde_check(d, "CompileResult")
         return cls(
             program=Program.from_dict(d["program"]),
             plan=(DecisionPlan.from_dict(d["plan"])
@@ -132,11 +137,14 @@ class CompileResult:
 def compile_baseline(prog: Program,
                      model: MachineModel = DEFAULT_MODEL) -> CompileResult:
     """Locally schedule each block; no global transformation."""
-    cfg = build_cfg(prog)
-    for bb in cfg.blocks:
-        if bb.instructions:
-            reorder_block(bb, model)
-    return CompileResult(program=cfg.to_program(prog.name + ".base"))
+    with obs_span("compile.baseline", program=prog.name):
+        cfg = build_cfg(prog)
+        for bb in cfg.blocks:
+            if bb.instructions:
+                reorder_block(bb, model)
+        result = CompileResult(program=cfg.to_program(prog.name + ".base"))
+    REGISTRY.inc("compiler.compiles_baseline")
+    return result
 
 
 def _fallback_result(prog: Program, model: MachineModel,
@@ -169,14 +177,42 @@ def compile_proposed(prog: Program,
     every pass (rolling back passes that break an invariant); disable it
     only for trusted perf-measurement loops.
     """
+    with obs_span("compile.proposed", program=prog.name) as sp:
+        result = _compile_proposed_inner(prog, heur, model, profile,
+                                         max_steps, verify)
+        sp.set("fallback", result.fallback)
+        sp.set("failures", len(result.failures))
+    if REGISTRY.enabled:
+        REGISTRY.inc("compiler.compiles_proposed")
+        REGISTRY.inc("compiler.splits_applied", result.splits_applied)
+        REGISTRY.inc("compiler.ifconverts_applied",
+                     result.ifconverts_applied)
+        if result.likely_report is not None:
+            REGISTRY.inc("compiler.likelies_converted",
+                         result.likely_report.converted)
+        if result.region_report is not None:
+            REGISTRY.inc("compiler.ops_speculated",
+                         result.region_report.speculated)
+            REGISTRY.inc("compiler.ops_duplicated",
+                         result.region_report.duplicated)
+        REGISTRY.inc("compiler.passes_contained",
+                     sum(1 for f in result.failures if f.kind != "skip"))
+    return result
+
+
+def _compile_proposed_inner(prog: Program, heur: FeedbackHeuristics,
+                            model: MachineModel,
+                            profile: Optional[ProfileDB],
+                            max_steps: int, verify: bool) -> CompileResult:
     result = CompileResult(program=prog)
 
     # 0. Profiling run.  Without feedback there is nothing to propose:
     #    degrade straight to the baseline schedule.
     if profile is None:
         try:
-            profile = ProfileDB.from_run(prog, max_steps=max_steps,
-                                         config=heur.classify)
+            with obs_span("pass.profile", program=prog.name):
+                profile = ProfileDB.from_run(prog, max_steps=max_steps,
+                                             config=heur.classify)
         except Exception as exc:  # noqa: BLE001
             result.failures.append(PassFailure(
                 stage="profile", kind="exception",

@@ -33,7 +33,7 @@ from .keys import (
     SCHEMA_VERSION, canonical, canonical_json, cell_key, digest,
     program_digest, program_fingerprint,
 )
-from .pool import run_cells, run_tasks
+from .pool import PoolDecision, execution_mode, run_cells, run_tasks
 from .suite import coerce_cache, run_suite
 from .sweep import SweepSpec, grid_from_dict, run_sweep
 
@@ -43,7 +43,7 @@ __all__ = [
     "EngineCounters", "execute_cell",
     "SCHEMA_VERSION", "canonical", "canonical_json", "cell_key", "digest",
     "program_digest", "program_fingerprint",
-    "run_cells", "run_tasks",
+    "PoolDecision", "execution_mode", "run_cells", "run_tasks",
     "coerce_cache", "run_suite",
     "SweepSpec", "grid_from_dict", "run_sweep",
 ]

@@ -26,9 +26,13 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..core import serde
 from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
 from ..core.pipeline import CompileResult, compile_baseline, compile_proposed
 from ..isa.program import Program
+from ..obs.metrics import REGISTRY
+from ..obs.pipeline_obs import maybe_observer
+from ..obs.trace import span as obs_span
 from ..sim.config import MachineConfig, r10k_config
 from ..sim.functional import ExecStats, FunctionalSim
 from ..sim.pipeline import TimingSim
@@ -98,6 +102,7 @@ def counted_compile(kind: str, prog: Program, heur: FeedbackHeuristics,
                     max_steps: int) -> CompileResult:
     """Compile *prog* for a pipeline *kind*, incrementing the counter."""
     COUNTERS.compiles += 1
+    REGISTRY.inc("engine.compiles")
     if kind == "base":
         return compile_baseline(prog)
     return compile_proposed(prog, heur=heur, max_steps=max_steps)
@@ -107,8 +112,9 @@ def counted_simulate(prog: Program, config: MachineConfig,
                      max_steps: int) -> tuple[SimStats, ExecStats]:
     """Functional + timing simulation, incrementing the counter."""
     COUNTERS.simulates += 1
+    REGISTRY.inc("engine.simulates")
     fsim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=False)
-    tsim = TimingSim(config)
+    tsim = TimingSim(config, observer=maybe_observer())
     stats = tsim.run(fsim.trace())
     return stats, fsim.stats
 
@@ -124,9 +130,10 @@ def _failure_payload(benchmark: str, scheme: str,
                      exc: BaseException) -> dict:
     detail = "".join(traceback.format_exception(
         type(exc), exc, exc.__traceback__)[-4:])
-    return {"benchmark": benchmark, "scheme": scheme, "stats": None,
-            "exec_stats": None, "compile_result": None,
-            "failure": _short_reason(exc), "failure_detail": detail}
+    return serde.stamp(
+        {"benchmark": benchmark, "scheme": scheme, "stats": None,
+         "exec_stats": None, "compile_result": None,
+         "failure": _short_reason(exc), "failure_detail": detail})
 
 
 class _alarm:
@@ -175,26 +182,30 @@ def execute_cell(spec: CellSpec, program: Optional[Program] = None,
     With ``spec.strict`` the first exception propagates; otherwise the
     cell is retried once and then recorded as a failure payload.
     """
-    last: Optional[BaseException] = None
-    memo = compile_memo if compile_memo is not None else {}
-    for _ in range(CELL_RETRIES + 1):
-        try:
-            with _alarm(spec.timeout):
-                prog = program if program is not None \
-                    else Program.from_dict(spec.program)
-                if spec.kind not in memo:
-                    memo[spec.kind] = counted_compile(
-                        spec.kind, prog, spec.heur, spec.max_steps)
-                cr = memo[spec.kind]
-                stats, exec_stats = counted_simulate(
-                    cr.program, spec.resolve_config(), spec.max_steps)
-            return {"benchmark": spec.benchmark, "scheme": spec.scheme,
-                    "stats": stats.to_dict(),
-                    "exec_stats": exec_stats.to_dict(),
-                    "compile_result": cr.to_dict(),
-                    "failure": None, "failure_detail": ""}
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            if spec.strict:
-                raise
-            last = exc
-    return _failure_payload(spec.benchmark, spec.scheme, last)
+    with obs_span(f"cell.{spec.scheme}", benchmark=spec.benchmark,
+                  scheme=spec.scheme) as sp:
+        last: Optional[BaseException] = None
+        memo = compile_memo if compile_memo is not None else {}
+        for _ in range(CELL_RETRIES + 1):
+            try:
+                with _alarm(spec.timeout):
+                    prog = program if program is not None \
+                        else Program.from_dict(spec.program)
+                    if spec.kind not in memo:
+                        memo[spec.kind] = counted_compile(
+                            spec.kind, prog, spec.heur, spec.max_steps)
+                    cr = memo[spec.kind]
+                    stats, exec_stats = counted_simulate(
+                        cr.program, spec.resolve_config(), spec.max_steps)
+                return serde.stamp(
+                    {"benchmark": spec.benchmark, "scheme": spec.scheme,
+                     "stats": stats.to_dict(),
+                     "exec_stats": exec_stats.to_dict(),
+                     "compile_result": cr.to_dict(),
+                     "failure": None, "failure_detail": ""})
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                if spec.strict:
+                    raise
+                last = exc
+        sp.set("failure", _short_reason(last))
+        return _failure_payload(spec.benchmark, spec.scheme, last)

@@ -34,7 +34,8 @@ from ..sim.config import MachineConfig
 #: Salt folded into every cache key.  Bump on ANY change to the cached
 #: payload schema or to code whose output the cache stores (compiler
 #: passes, timing model): stale entries then simply stop matching.
-SCHEMA_VERSION = 1
+#: v2: result payloads carry a ``schema_version`` field (repro.core.serde).
+SCHEMA_VERSION = 2
 
 
 def canonical(obj: Any) -> Any:

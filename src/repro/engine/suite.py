@@ -24,8 +24,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
+from .._deprecation import resolve_impl
 from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
 from ..isa.program import Program
+from ..obs.trace import span as obs_span
 from ..workloads import benchmark_programs
 from .cache import ArtifactCache
 from .cells import SCHEME_PLAN, CellSpec, overrides_as_items
@@ -81,6 +83,16 @@ def run_suite(scale: float = 1.0,
     from ..eval import runner as _runner  # late: avoids an import cycle,
     # and keeps run_benchmark/monkeypatches resolvable at call time.
 
+    with obs_span("suite.run", scale=scale, jobs=jobs,
+                  cached=cache is not None):
+        return _run_suite_inner(scale, heur, benchmarks, config_overrides,
+                                progress, max_steps, strict, jobs, cache,
+                                timeout, seed, _runner)
+
+
+def _run_suite_inner(scale, heur, benchmarks, config_overrides, progress,
+                     max_steps, strict, jobs, cache, timeout, seed, _runner):
+    """Body of :func:`run_suite` (split out so the span wraps it whole)."""
     store = coerce_cache(cache)
     if benchmarks is not None:
         programs = benchmarks
@@ -172,8 +184,12 @@ def _serial_misses(_runner, miss_specs, programs, hits, heur,
         if spec.benchmark not in names:
             names.append(spec.benchmark)
     for name in names:
+        # Attribute lookup keeps monkeypatched replacements (no shim
+        # attribute) in play; resolve_impl skips the deprecation shim on
+        # the real function so internal routing never warns.
+        fn = resolve_impl(_runner.run_benchmark)
         try:
-            run = _runner.run_benchmark(
+            run = fn(
                 name, programs[name], heur=heur,
                 config_overrides=config_overrides,
                 max_steps=max_steps, strict=strict)

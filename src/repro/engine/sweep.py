@@ -24,7 +24,9 @@ import itertools
 from dataclasses import dataclass, fields as dc_fields, replace
 from typing import Callable, Iterator, Optional
 
+from .._deprecation import deprecated
 from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
+from ..obs.trace import span as obs_span
 from ..sim.config import MachineConfig
 from ..workloads import benchmark_programs
 from .suite import CacheLike, run_suite
@@ -119,15 +121,16 @@ def _cell_record(point: dict, name: str, cell) -> dict:
     return rec
 
 
-def run_sweep(spec: SweepSpec, jobs: int = 1, cache: CacheLike = None,
-              progress: Optional[Callable[[str], None]] = None,
-              timeout: Optional[float] = None) -> list[dict]:
+def run_sweep_impl(spec: SweepSpec, jobs: int = 1, cache: CacheLike = None,
+                   progress: Optional[Callable[[str], None]] = None,
+                   timeout: Optional[float] = None) -> list[dict]:
     """Evaluate every point of *spec*; returns one record per cell.
 
     Each point reuses the suite engine, so the artifact cache deduplicates
     across points (e.g. the 2bitBP baseline of a config point is shared by
     every heuristic variation, which only changes the Proposed cells) and
-    across repeated sweep invocations.
+    across repeated sweep invocations.  Each point emits a ``sweep.point``
+    tracing span carrying the point's scale/config/heur attributes.
     """
     spec.validate()
     records: list[dict] = []
@@ -138,15 +141,21 @@ def run_sweep(spec: SweepSpec, jobs: int = 1, cache: CacheLike = None,
                      f"heur={point['heur']}")
         heur = (replace(DEFAULT_HEURISTICS, **point["heur"])
                 if point["heur"] else DEFAULT_HEURISTICS)
-        programs = benchmark_programs(point["scale"], seed=spec.seed)
-        if spec.benchmarks is not None:
-            programs = {n: p for n, p in programs.items()
-                        if n in spec.benchmarks}
-        runs = run_suite(benchmarks=programs, heur=heur,
-                         config_overrides=point["config"],
-                         max_steps=spec.max_steps, jobs=jobs, cache=cache,
-                         timeout=timeout)
+        with obs_span("sweep.point", index=i, scale=point["scale"],
+                      config=dict(point["config"]),
+                      heur=dict(point["heur"])):
+            programs = benchmark_programs(point["scale"], seed=spec.seed)
+            if spec.benchmarks is not None:
+                programs = {n: p for n, p in programs.items()
+                            if n in spec.benchmarks}
+            runs = run_suite(benchmarks=programs, heur=heur,
+                             config_overrides=point["config"],
+                             max_steps=spec.max_steps, jobs=jobs,
+                             cache=cache, timeout=timeout)
         for name, run in runs.items():
             for cell in run.results.values():
                 records.append(_cell_record(point, name, cell))
     return records
+
+
+run_sweep = deprecated("repro.api.Session.sweep")(run_sweep_impl)

@@ -32,10 +32,14 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from .._deprecation import deprecated
+from ..core import serde
 from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
 from ..core.pipeline import CompileResult, compile_baseline, compile_proposed
 from ..engine.cells import COUNTERS
 from ..isa.program import Program
+from ..obs.pipeline_obs import maybe_observer
+from ..obs.trace import span as obs_span
 from ..sim.config import MachineConfig, r10k_config
 from ..sim.functional import ExecStats, FunctionalSim
 from ..sim.pipeline import TimingSim
@@ -73,7 +77,7 @@ class SchemeResult:
     def to_dict(self) -> dict:
         """JSON-serializable form: the engine's artifact-cache payload and
         the ``tables --json`` record for this cell."""
-        return {
+        return serde.stamp({
             "benchmark": self.benchmark,
             "scheme": self.scheme,
             "stats": self.stats.to_dict() if self.stats else None,
@@ -83,11 +87,12 @@ class SchemeResult:
                                if self.compile_result else None),
             "failure": self.failure,
             "failure_detail": self.failure_detail,
-        }
+        })
 
     @classmethod
     def from_dict(cls, d: dict) -> "SchemeResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (schema-version checked)."""
+        serde.check(d, "SchemeResult")
         return cls(
             benchmark=d["benchmark"],
             scheme=d["scheme"],
@@ -136,13 +141,16 @@ class BenchmarkRun:
     def to_dict(self) -> dict:
         """JSON-serializable form (``tables --json`` per-benchmark record)."""
         imp = self.improvement
-        return {"name": self.name,
-                "results": {s: r.to_dict() for s, r in self.results.items()},
-                "improvement": None if imp != imp else imp}
+        return serde.stamp(
+            {"name": self.name,
+             "results": {s: r.to_dict() for s, r in self.results.items()},
+             "improvement": None if imp != imp else imp})
 
     @classmethod
     def from_dict(cls, d: dict) -> "BenchmarkRun":
-        """Inverse of :meth:`to_dict` (``improvement`` is recomputed)."""
+        """Inverse of :meth:`to_dict` (``improvement`` is recomputed;
+        the schema version is checked)."""
+        serde.check(d, "BenchmarkRun")
         return cls(name=d["name"],
                    results={s: SchemeResult.from_dict(r)
                             for s, r in d["results"].items()})
@@ -159,7 +167,7 @@ def _run(prog: Program, config: MachineConfig,
          max_steps: int = 50_000_000) -> tuple[SimStats, ExecStats]:
     COUNTERS.simulates += 1
     fsim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=False)
-    tsim = TimingSim(config)
+    tsim = TimingSim(config, observer=maybe_observer())
     stats = tsim.run(fsim.trace())
     return stats, fsim.stats
 
@@ -167,25 +175,28 @@ def _run(prog: Program, config: MachineConfig,
 def _run_cell(benchmark: str, scheme: str, fn: Callable[[], SchemeResult],
               strict: bool, retries: int = CELL_RETRIES) -> SchemeResult:
     """Execute one cell with retry-once and failure capture."""
-    last: Optional[BaseException] = None
-    for _ in range(retries + 1):
-        try:
-            return fn()
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            if strict:
-                raise
-            last = exc
-    detail = "".join(traceback.format_exception(
-        type(last), last, last.__traceback__)[-4:])
-    return SchemeResult(benchmark, scheme, failure=_short_reason(last),
-                        failure_detail=detail)
+    with obs_span(f"cell.{scheme}", benchmark=benchmark,
+                  scheme=scheme) as sp:
+        last: Optional[BaseException] = None
+        for _ in range(retries + 1):
+            try:
+                return fn()
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                if strict:
+                    raise
+                last = exc
+        sp.set("failure", _short_reason(last))
+        detail = "".join(traceback.format_exception(
+            type(last), last, last.__traceback__)[-4:])
+        return SchemeResult(benchmark, scheme, failure=_short_reason(last),
+                            failure_detail=detail)
 
 
-def run_benchmark(name: str, prog: Program,
-                  heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
-                  config_overrides: Optional[dict] = None,
-                  max_steps: int = 50_000_000,
-                  strict: bool = False) -> BenchmarkRun:
+def run_benchmark_impl(name: str, prog: Program,
+                       heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+                       config_overrides: Optional[dict] = None,
+                       max_steps: int = 50_000_000,
+                       strict: bool = False) -> BenchmarkRun:
     """Run the three schemes on one benchmark program.
 
     With ``strict=False`` (default) a crashing cell is retried once and
@@ -221,17 +232,21 @@ def run_benchmark(name: str, prog: Program,
     return run
 
 
-def run_suite(scale: float = 1.0,
-              heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
-              benchmarks: Optional[dict[str, Program]] = None,
-              config_overrides: Optional[dict] = None,
-              progress: Optional[Callable[[str], None]] = None,
-              max_steps: int = 50_000_000,
-              strict: bool = False,
-              jobs: int = 1,
-              cache=None,
-              timeout: Optional[float] = None,
-              seed: Optional[int] = None) -> dict[str, BenchmarkRun]:
+run_benchmark = deprecated(
+    "repro.api.Session.run_benchmark")(run_benchmark_impl)
+
+
+def run_suite_impl(scale: float = 1.0,
+                   heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
+                   benchmarks: Optional[dict[str, Program]] = None,
+                   config_overrides: Optional[dict] = None,
+                   progress: Optional[Callable[[str], None]] = None,
+                   max_steps: int = 50_000_000,
+                   strict: bool = False,
+                   jobs: int = 1,
+                   cache=None,
+                   timeout: Optional[float] = None,
+                   seed: Optional[int] = None) -> dict[str, BenchmarkRun]:
     """Run the full benchmark suite through all three schemes.
 
     Returns ``{benchmark: BenchmarkRun}`` in the paper's benchmark order.
@@ -252,6 +267,9 @@ def run_suite(scale: float = 1.0,
         config_overrides=config_overrides, progress=progress,
         max_steps=max_steps, strict=strict, jobs=jobs, cache=cache,
         timeout=timeout, seed=seed)
+
+
+run_suite = deprecated("repro.api.Session.run_suite")(run_suite_impl)
 
 
 def suite_to_dict(runs: dict[str, BenchmarkRun]) -> dict:

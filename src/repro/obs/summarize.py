@@ -1,0 +1,55 @@
+"""Trace aggregation: the table behind ``repro trace summarize``.
+
+A JSONL trace (see :mod:`repro.obs.trace`) is a flat list of completed
+spans; :func:`aggregate_spans` folds them into per-name timing rows and
+:func:`summarize_trace` renders the per-pass / per-cell table::
+
+    span                          count   total ms    mean ms     max ms
+    cell.Proposed                     4    1234.56     308.64     400.12
+    pass.speculate                    4     321.09      80.27      99.44
+    ...
+
+Rows are sorted by total time descending — the profile-reading order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def aggregate_spans(records: Sequence[dict]) -> dict[str, dict]:
+    """Per-name aggregate of span records: count/total/mean/max (ns)."""
+    agg: dict[str, dict] = {}
+    for rec in records:
+        row = agg.get(rec["name"])
+        dur = rec["dur_ns"]
+        if row is None:
+            agg[rec["name"]] = {"count": 1, "total_ns": dur,
+                                "max_ns": dur, "errors": 0}
+        else:
+            row["count"] += 1
+            row["total_ns"] += dur
+            if dur > row["max_ns"]:
+                row["max_ns"] = dur
+        if rec.get("attrs", {}).get("error"):
+            agg[rec["name"]]["errors"] += 1
+    for row in agg.values():
+        row["mean_ns"] = row["total_ns"] / row["count"]
+    return agg
+
+
+def summarize_trace(records: Sequence[dict]) -> str:
+    """Render span records as a per-name timing table (see module doc)."""
+    agg = aggregate_spans(records)
+    lines = [f"{len(records)} spans, {len(agg)} distinct names",
+             f"{'span':<30} {'count':>6} {'total ms':>11} "
+             f"{'mean ms':>10} {'max ms':>10}"]
+    for name in sorted(agg, key=lambda n: -agg[n]["total_ns"]):
+        row = agg[name]
+        err = f"  ({row['errors']} errored)" if row["errors"] else ""
+        lines.append(
+            f"{name:<30} {row['count']:>6} "
+            f"{row['total_ns'] / 1e6:>11.3f} "
+            f"{row['mean_ns'] / 1e6:>10.3f} "
+            f"{row['max_ns'] / 1e6:>10.3f}{err}")
+    return "\n".join(lines)

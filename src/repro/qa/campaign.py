@@ -21,9 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from .._deprecation import deprecated
+from ..core import serde
 from ..engine.cache import ArtifactCache
 from ..engine.pool import run_tasks
 from ..engine.suite import CacheLike, coerce_cache
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span as obs_span
 from ..isa.printer import format_program
 from ..isa.program import Program
 from ..robust.diffcheck import check_equivalence
@@ -72,8 +76,8 @@ class CampaignSummary:
         return self.divergences == 0 and self.cell_errors == 0
 
     def to_dict(self) -> dict:
-        """JSON-serializable form of the summary."""
-        return {
+        """JSON-serializable form of the summary (schema-version stamped)."""
+        return serde.stamp({
             "budget": self.budget,
             "seed": self.seed,
             "strategies": list(self.strategies),
@@ -84,7 +88,20 @@ class CampaignSummary:
             "per_strategy": {k: dict(v) for k, v in
                              sorted(self.per_strategy.items())},
             "shrinks": list(self.shrinks),
-        }
+        })
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignSummary":
+        """Inverse of :meth:`to_dict` (schema-version checked)."""
+        serde.check(d, "CampaignSummary")
+        return cls(
+            budget=d["budget"], seed=d["seed"],
+            strategies=list(d["strategies"]), programs=d["programs"],
+            cell_errors=d["cell_errors"], divergences=d["divergences"],
+            buckets=dict(d["buckets"]),
+            per_strategy={k: dict(v)
+                          for k, v in d["per_strategy"].items()},
+            shrinks=list(d["shrinks"]))
 
     def format(self) -> str:
         """Human-readable campaign report."""
@@ -154,20 +171,45 @@ def _shrink_entry(entry: TriageEntry, prog: Program,
     entry.program_text = format_program(prog)
     if not cfg.shrink:
         return
-    # Candidates never need to run much longer than the original failure
-    # did; the floor keeps very short failures shrinkable.
-    orig_steps = int(entry.report.get("original_steps") or 0)
-    step_cap = min(cfg.max_steps, max(20_000, orig_steps * 16))
-    oracle = scheme_oracle(entry.scheme, entry.kind, step_cap)
-    result = shrink_program(prog, oracle, oracle_budget=cfg.oracle_budget)
-    entry.shrunk_text = format_program(result.program)
-    entry.shrink = result.to_dict()
+    # "name" is span()'s own first parameter; the entry name goes under
+    # a different attr key.
+    with obs_span("fuzz.shrink", reproducer=entry.name,
+                  scheme=entry.scheme, kind=entry.kind) as sp:
+        # Candidates never need to run much longer than the original
+        # failure did; the floor keeps very short failures shrinkable.
+        orig_steps = int(entry.report.get("original_steps") or 0)
+        step_cap = min(cfg.max_steps, max(20_000, orig_steps * 16))
+        oracle = scheme_oracle(entry.scheme, entry.kind, step_cap)
+        result = shrink_program(prog, oracle,
+                                oracle_budget=cfg.oracle_budget)
+        entry.shrunk_text = format_program(result.program)
+        entry.shrink = result.to_dict()
+        sp.set("oracle_calls", entry.shrink.get("oracle_calls"))
 
 
-def run_campaign(cfg: CampaignConfig,
-                 progress: Optional[Callable[[str], None]] = None,
-                 ) -> CampaignResult:
+def run_campaign_impl(cfg: CampaignConfig,
+                      progress: Optional[Callable[[str], None]] = None,
+                      ) -> CampaignResult:
     """Run one differential fuzzing campaign; see the module docstring."""
+    with obs_span("fuzz.campaign", budget=cfg.budget, seed=cfg.seed,
+                  jobs=cfg.jobs) as sp:
+        result = _run_campaign_inner(cfg, progress)
+        sp.set("divergences", result.summary.divergences)
+        sp.set("cell_errors", result.summary.cell_errors)
+    if REGISTRY.enabled:
+        REGISTRY.inc("fuzz.programs", result.summary.programs)
+        REGISTRY.inc("fuzz.divergences", result.summary.divergences)
+        REGISTRY.inc("fuzz.cell_errors", result.summary.cell_errors)
+    return result
+
+
+run_campaign = deprecated("repro.api.Session.fuzz")(run_campaign_impl)
+
+
+def _run_campaign_inner(cfg: CampaignConfig,
+                        progress: Optional[Callable[[str], None]] = None,
+                        ) -> CampaignResult:
+    """Campaign body (split out so the span wraps it whole)."""
     strategies: tuple[FuzzStrategy, ...] = select_strategies(cfg.strategies)
     plan = list(campaign_plan(cfg.budget, cfg.seed, strategies))
     specs = [FuzzCellSpec(s.name, seed, cfg.max_steps) for s, seed in plan]

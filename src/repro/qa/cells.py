@@ -25,6 +25,7 @@ from ..core.pipeline import (
 )
 from ..engine.keys import SCHEMA_VERSION, digest
 from ..isa.program import Program
+from ..obs.trace import span as obs_span
 from ..profilefb.profiledb import ProfileDB
 from ..robust.diffcheck import check_equivalence
 from .strategies import BY_NAME, FuzzStrategy
@@ -134,14 +135,19 @@ def execute_fuzz_cell(spec: FuzzCellSpec) -> dict:
     tooling cannot masquerade as a clean campaign.
     """
     base = {"strategy": spec.strategy, "seed": spec.seed}
-    try:
-        prog = spec.program()
-        base["program_len"] = len(prog)
-        verdicts = check_program(prog, spec.max_steps)
-        return {**base, **verdicts, "error": None}
-    except Exception as exc:  # noqa: BLE001 - containment is the point
-        detail = "".join(traceback.format_exception(
-            type(exc), exc, exc.__traceback__)[-4:])
-        return {**base, "schemes": {}, "divergent": [],
-                "error": f"{type(exc).__name__}: {exc}",
-                "error_detail": detail}
+    with obs_span("fuzz.cell", strategy=spec.strategy,
+                  seed=spec.seed) as sp:
+        try:
+            prog = spec.program()
+            base["program_len"] = len(prog)
+            verdicts = check_program(prog, spec.max_steps)
+            if verdicts["divergent"]:
+                sp.set("divergent", list(verdicts["divergent"]))
+            return {**base, **verdicts, "error": None}
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            detail = "".join(traceback.format_exception(
+                type(exc), exc, exc.__traceback__)[-4:])
+            sp.set("cell_error", f"{type(exc).__name__}: {exc}")
+            return {**base, "schemes": {}, "divergent": [],
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "error_detail": detail}

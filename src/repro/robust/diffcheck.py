@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..core import serde
 from ..isa.program import Program
 from ..sim.functional import ExecStats, FunctionalSim, SimulationError
 from ..sim.memory import Memory
@@ -107,7 +108,7 @@ class DiffReport:
         Includes the derived ``kind`` and ``first_diff`` fields so
         downstream triage can bucket without re-parsing message text.
         """
-        return {
+        return serde.stamp({
             "equivalent": self.equivalent,
             "reason": self.reason,
             "original_steps": self.original_steps,
@@ -115,11 +116,13 @@ class DiffReport:
             "mismatches": list(self.mismatches),
             "kind": self.kind,
             "first_diff": self.first_diff,
-        }
+        })
 
     @classmethod
     def from_dict(cls, d: dict) -> "DiffReport":
-        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        """Inverse of :meth:`to_dict` (derived fields are recomputed;
+        the schema version is checked)."""
+        serde.check(d, "DiffReport")
         return cls(equivalent=d["equivalent"], reason=d["reason"],
                    original_steps=d["original_steps"],
                    transformed_steps=d["transformed_steps"],

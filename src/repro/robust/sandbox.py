@@ -22,6 +22,7 @@ from typing import Any, Callable, Optional
 
 from ..cfg.basic_block import BasicBlock
 from ..cfg.graph import CFG, Edge
+from ..obs.trace import span as obs_span
 from .verifier import Violation, verify_cfg
 
 #: Failure kinds, in the order the containment ladder encounters them.
@@ -145,37 +146,48 @@ class PassSandbox:
         signals (e.g. ``SplitNotApplicable``), recorded as kind ``"skip"``
         with the pass's own reason — still rolled back, but not counted as
         containment events.
+
+        Each execution emits a ``pass.<name>`` tracing span (the stage's
+        ``@bbN`` site suffix travels as the ``stage`` attribute, so all
+        sites of one pass aggregate under one span name) whose
+        ``outcome`` attribute is ``ok``/``skip``/``exception``/``verify``.
         """
-        snap = snapshot_cfg(self.cfg)
-        try:
-            result = fn()
-        except skip_exceptions as exc:
-            restore_cfg(self.cfg, snap)
-            self.last_ok = False
-            self._record(PassFailure(stage=stage, kind="skip",
-                                     reason=f"{exc}" or type(exc).__name__))
-            return None
-        except Exception as exc:  # noqa: BLE001 - containment is the point
-            restore_cfg(self.cfg, snap)
-            self.last_ok = False
-            self._record(PassFailure(
-                stage=stage, kind="exception",
-                reason=f"{type(exc).__name__}: {exc}",
-                detail=traceback.format_exc(limit=6)))
-            return None
-        if self.verify:
-            violations = verify_cfg(self.cfg)
-            if violations:
+        with obs_span("pass." + stage.split("@", 1)[0], stage=stage) as sp:
+            snap = snapshot_cfg(self.cfg)
+            try:
+                result = fn()
+            except skip_exceptions as exc:
                 restore_cfg(self.cfg, snap)
                 self.last_ok = False
                 self._record(PassFailure(
-                    stage=stage, kind="verify",
-                    reason=f"{len(violations)} IR invariant violation(s); "
-                           f"first: {violations[0]}",
-                    detail="\n".join(str(v) for v in violations[:20])))
+                    stage=stage, kind="skip",
+                    reason=f"{exc}" or type(exc).__name__))
+                sp.set("outcome", "skip")
                 return None
-        self.last_ok = True
-        return result
+            except Exception as exc:  # noqa: BLE001 - containment is the point
+                restore_cfg(self.cfg, snap)
+                self.last_ok = False
+                self._record(PassFailure(
+                    stage=stage, kind="exception",
+                    reason=f"{type(exc).__name__}: {exc}",
+                    detail=traceback.format_exc(limit=6)))
+                sp.set("outcome", "exception")
+                return None
+            if self.verify:
+                violations = verify_cfg(self.cfg)
+                if violations:
+                    restore_cfg(self.cfg, snap)
+                    self.last_ok = False
+                    self._record(PassFailure(
+                        stage=stage, kind="verify",
+                        reason=f"{len(violations)} IR invariant "
+                               f"violation(s); first: {violations[0]}",
+                        detail="\n".join(str(v) for v in violations[:20])))
+                    sp.set("outcome", "verify")
+                    return None
+            self.last_ok = True
+            sp.set("outcome", "ok")
+            return result
 
     # -- reporting -------------------------------------------------------------
 

@@ -27,11 +27,20 @@ import struct
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+# repro.core.serde is imported lazily inside to_dict/from_dict: importing
+# the core package at module level would close an import cycle
+# (core -> sched -> transform -> profilefb -> sim).
 from ..isa.instruction import Instruction
 from ..isa.program import Program
 from .memory import Memory
 
 MASK32 = 0xFFFF_FFFF
+
+#: Flat scalar fields shared by :meth:`ExecStats.to_dict`/``from_dict``.
+_EXEC_FIELDS = (
+    "steps", "annulled", "branches", "taken_branches", "jumps", "loads",
+    "stores", "div_by_zero", "halted",
+)
 
 
 def to_signed(v: int) -> int:
@@ -102,38 +111,26 @@ class ExecStats:
         keys must be strings, so uids are stringified on the way out and
         restored on the way back in.
         """
-        return {
-            "steps": self.steps,
-            "annulled": self.annulled,
-            "branches": self.branches,
-            "taken_branches": self.taken_branches,
-            "jumps": self.jumps,
-            "loads": self.loads,
-            "stores": self.stores,
-            "div_by_zero": self.div_by_zero,
-            "halted": self.halted,
-            "branch_outcomes": {str(uid): [bool(b) for b in bits]
-                                for uid, bits in self.branch_outcomes.items()},
-            "branch_pc": {str(uid): pc
-                          for uid, pc in self.branch_pc.items()},
-        }
+        from ..core import serde
+        d = serde.dump_fields(self, _EXEC_FIELDS)
+        d.update(
+            branch_outcomes={str(uid): [bool(b) for b in bits]
+                             for uid, bits in self.branch_outcomes.items()},
+            branch_pc={str(uid): pc
+                       for uid, pc in self.branch_pc.items()},
+        )
+        return serde.stamp(d)
 
     @classmethod
     def from_dict(cls, d: dict) -> "ExecStats":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (schema-version checked)."""
+        from ..core import serde
+        serde.check(d, "ExecStats")
         return cls(
-            steps=d["steps"],
-            annulled=d["annulled"],
-            branches=d["branches"],
-            taken_branches=d["taken_branches"],
-            jumps=d["jumps"],
-            loads=d["loads"],
-            stores=d["stores"],
-            div_by_zero=d["div_by_zero"],
-            halted=d["halted"],
             branch_outcomes={int(uid): [bool(b) for b in bits]
                              for uid, bits in d["branch_outcomes"].items()},
             branch_pc={int(uid): pc for uid, pc in d["branch_pc"].items()},
+            **serde.load_fields(d, _EXEC_FIELDS),
         )
 
 

@@ -8,8 +8,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+# repro.core.serde is imported lazily inside to_dict/from_dict: importing
+# the core package at module level would close an import cycle
+# (core -> sched -> transform -> profilefb -> sim).
 from .branch_pred import PredictorStats
 from .cache import CacheStats
+
+#: Flat scalar fields shared by :meth:`SimStats.to_dict`/``from_dict``.
+_SCALAR_FIELDS = (
+    "cycles", "committed", "annulled", "dispatched",
+    "fetch_stall_cycles", "icache_stall_cycles", "mispredict_events",
+    "indirect_stall_events", "wrong_path_squashed",
+)
 
 
 @dataclass
@@ -70,43 +80,31 @@ class SimStats:
         Used by the evaluation engine's artifact cache and the ``tables
         --json`` machine-readable output.
         """
-        return {
-            "cycles": self.cycles,
-            "committed": self.committed,
-            "annulled": self.annulled,
-            "dispatched": self.dispatched,
-            "queue_full_cycles": dict(self.queue_full_cycles),
-            "unit_full_cycles": dict(self.unit_full_cycles),
-            "unit_issues": dict(self.unit_issues),
-            "fetch_stall_cycles": self.fetch_stall_cycles,
-            "icache_stall_cycles": self.icache_stall_cycles,
-            "mispredict_events": self.mispredict_events,
-            "indirect_stall_events": self.indirect_stall_events,
-            "wrong_path_squashed": self.wrong_path_squashed,
-            "predictor": self.predictor.to_dict(),
-            "icache": self.icache.to_dict(),
-            "dcache": self.dcache.to_dict(),
-        }
+        from ..core import serde
+        d = serde.dump_fields(self, _SCALAR_FIELDS)
+        d.update(
+            queue_full_cycles=dict(self.queue_full_cycles),
+            unit_full_cycles=dict(self.unit_full_cycles),
+            unit_issues=dict(self.unit_issues),
+            predictor=self.predictor.to_dict(),
+            icache=self.icache.to_dict(),
+            dcache=self.dcache.to_dict(),
+        )
+        return serde.stamp(d)
 
     @classmethod
     def from_dict(cls, d: dict) -> "SimStats":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (schema-version checked)."""
+        from ..core import serde
+        serde.check(d, "SimStats")
         return cls(
-            cycles=d["cycles"],
-            committed=d["committed"],
-            annulled=d["annulled"],
-            dispatched=d["dispatched"],
             queue_full_cycles=dict(d["queue_full_cycles"]),
             unit_full_cycles=dict(d["unit_full_cycles"]),
             unit_issues=dict(d["unit_issues"]),
-            fetch_stall_cycles=d["fetch_stall_cycles"],
-            icache_stall_cycles=d["icache_stall_cycles"],
-            mispredict_events=d["mispredict_events"],
-            indirect_stall_events=d["indirect_stall_events"],
-            wrong_path_squashed=d["wrong_path_squashed"],
             predictor=PredictorStats.from_dict(d["predictor"]),
             icache=CacheStats.from_dict(d["icache"]),
             dcache=CacheStats.from_dict(d["dcache"]),
+            **serde.load_fields(d, _SCALAR_FIELDS),
         )
 
     def summary(self) -> str:

@@ -1,0 +1,73 @@
+"""Legacy entry points still work but warn toward the Session facade."""
+
+import pytest
+
+from repro._deprecation import deprecated, resolve_impl
+from repro.workloads import benchmark_programs
+
+
+def test_run_benchmark_warns():
+    from repro.eval import run_benchmark
+
+    prog = benchmark_programs(0.01)["compress"]
+    with pytest.warns(DeprecationWarning, match="Session.run_benchmark"):
+        run = run_benchmark("compress", prog)
+    assert run.ok
+
+
+def test_run_suite_warns():
+    from repro.eval import run_suite
+
+    with pytest.warns(DeprecationWarning, match="Session.run_suite"):
+        runs = run_suite(scale=0.01,
+                         benchmarks={"compress":
+                                     benchmark_programs(0.01)["compress"]})
+    assert runs["compress"].ok
+
+
+def test_run_sweep_warns():
+    from repro.engine import SweepSpec, run_sweep
+
+    spec = SweepSpec(scales=(0.01,), benchmarks=("compress",))
+    with pytest.warns(DeprecationWarning, match="Session.sweep"):
+        records = run_sweep(spec)
+    assert len(records) == 3  # one flat record per scheme cell
+
+
+def test_run_campaign_warns():
+    from repro.qa import CampaignConfig, run_campaign
+
+    with pytest.warns(DeprecationWarning, match="Session.fuzz"):
+        result = run_campaign(CampaignConfig(budget=1, seed=0, shrink=False))
+    assert result.summary.programs == 1
+
+
+def test_decorator_preserves_metadata_and_impl():
+    def work_impl(x):
+        """Docs survive."""
+        return x * 2
+
+    shim = deprecated("new.thing")(work_impl)
+    assert shim.__name__ == "work"
+    assert shim.__doc__ == "Docs survive."
+    assert shim._deprecated_impl is work_impl
+    with pytest.warns(DeprecationWarning, match="use new.thing instead"):
+        assert shim(3) == 6
+
+
+def test_resolve_impl_skips_the_warning(recwarn):
+    def work_impl():
+        return "ran"
+
+    shim = deprecated("new.thing")(work_impl)
+    assert resolve_impl(shim) is work_impl
+    assert resolve_impl(shim)() == "ran"
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_resolve_impl_passes_plain_functions_through():
+    def monkeypatched():
+        pass
+
+    assert resolve_impl(monkeypatched) is monkeypatched

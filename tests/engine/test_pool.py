@@ -64,3 +64,84 @@ def test_strict_spec_raises_in_serial(programs):
         strict=True)
     with pytest.raises(Exception):
         run_cells([strict_spec], jobs=1)
+
+
+class TestExecutionMode:
+    """The oversubscription guard behind every pool fan-out."""
+
+    def test_jobs_one_is_plain_serial(self):
+        from repro.engine import execution_mode
+
+        decision = execution_mode(jobs=1, n_items=8)
+        assert decision.mode == "serial"
+        assert decision.workers == 1
+
+    def test_single_item_is_plain_serial(self):
+        from repro.engine import execution_mode
+
+        decision = execution_mode(jobs=4, n_items=1)
+        assert decision.mode == "serial"
+        assert decision.workers == 1
+
+    def test_oversubscribed_host_falls_back_to_serial(self, monkeypatch):
+        import os
+
+        from repro.engine import execution_mode
+
+        monkeypatch.delenv("REPRO_POOL_FORCE", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        decision = execution_mode(jobs=4, n_items=8)
+        assert decision.mode == "serial-oversubscribed"
+        assert decision.workers == 1
+        assert decision.cpus == 1
+
+    def test_workers_capped_by_cpus_and_items(self, monkeypatch):
+        import os
+
+        from repro.engine import execution_mode
+
+        monkeypatch.delenv("REPRO_POOL_FORCE", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        decision = execution_mode(jobs=16, n_items=3)
+        assert decision.mode == "parallel"
+        assert decision.workers == 3  # min(jobs, n_items, cpus)
+
+    def test_force_overrides_the_cpu_cap(self, monkeypatch):
+        import os
+
+        from repro.engine import execution_mode
+
+        monkeypatch.setenv("REPRO_POOL_FORCE", "1")
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        decision = execution_mode(jobs=2, n_items=8)
+        assert decision.mode == "parallel"
+        assert decision.workers == 2
+
+    def test_last_decision_recorded_for_bench(self, monkeypatch):
+        from repro.engine import execution_mode
+        from repro.engine import pool
+
+        decision = execution_mode(jobs=1, n_items=5)
+        assert pool.LAST_DECISION is decision
+        d = decision.to_dict()
+        assert d["mode"] == "serial"
+        assert set(d) == {"mode", "workers", "jobs", "n_items", "cpus"}
+
+    def test_oversubscribed_fallback_counted_when_metrics_on(
+            self, monkeypatch):
+        import os
+
+        from repro.engine import execution_mode
+        from repro.obs.metrics import REGISTRY
+
+        monkeypatch.delenv("REPRO_POOL_FORCE", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        REGISTRY.reset()
+        REGISTRY.enable()
+        try:
+            execution_mode(jobs=4, n_items=8)
+            snap = REGISTRY.snapshot()["counters"]
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert snap["engine.pool.serial-oversubscribed"] == 1

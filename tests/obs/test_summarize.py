@@ -1,0 +1,57 @@
+"""Trace aggregation and the per-name timing table."""
+
+import io
+
+from repro.obs.summarize import aggregate_spans, summarize_trace
+from repro.obs.trace import read_trace, span, tracing
+
+
+def _rec(name, dur_ns, error=None):
+    attrs = {"error": error} if error else {}
+    return {"name": name, "dur_ns": dur_ns, "attrs": attrs}
+
+
+def test_aggregate_counts_totals_mean_max():
+    agg = aggregate_spans([_rec("a", 10), _rec("a", 30), _rec("b", 5)])
+    assert agg["a"] == {"count": 2, "total_ns": 40, "max_ns": 30,
+                        "errors": 0, "mean_ns": 20.0}
+    assert agg["b"]["count"] == 1
+    assert agg["b"]["mean_ns"] == 5.0
+
+
+def test_aggregate_counts_errors():
+    agg = aggregate_spans([_rec("a", 10), _rec("a", 10, error="KeyError")])
+    assert agg["a"]["errors"] == 1
+
+
+def test_aggregate_empty():
+    assert aggregate_spans([]) == {}
+
+
+def test_summarize_sorts_by_total_descending():
+    text = summarize_trace([_rec("small", 1_000_000),
+                            _rec("big", 9_000_000),
+                            _rec("big", 9_000_000)])
+    lines = text.splitlines()
+    assert lines[0] == "3 spans, 2 distinct names"
+    assert "span" in lines[1] and "total ms" in lines[1]
+    assert lines[2].startswith("big")
+    assert lines[3].startswith("small")
+
+
+def test_summarize_flags_errored_spans():
+    text = summarize_trace([_rec("x", 10, error="ValueError")])
+    assert "(1 errored)" in text
+
+
+def test_summarize_round_trip_from_real_trace():
+    sink = io.StringIO()
+    with tracing(sink):
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+    text = summarize_trace(read_trace(io.StringIO(sink.getvalue())))
+    assert "3 spans, 2 distinct names" in text
+    assert "outer" in text and "inner" in text

@@ -115,3 +115,60 @@ def test_sweep_rejects_unknown_axis():
     with pytest.raises(SystemExit):
         main(["sweep", "--scales", "0.01", "--no-cache",
               "--config", "no_such_field=1,2"])
+
+
+def test_trace_run_and_summarize(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "run", "--scale", "0.01",
+                 "--out", str(out), "--no-cache"]) == 0
+    captured = capsys.readouterr()
+    assert "spans written to" in captured.err
+    from repro.obs import read_trace
+
+    names = {r["name"] for r in read_trace(out)}
+    assert "suite.run" in names
+    assert "cell.Proposed" in names
+    assert "pass.decide" in names
+
+    assert main(["trace", "summarize", str(out)]) == 0
+    table = capsys.readouterr().out
+    assert "distinct names" in table
+    assert "suite.run" in table
+
+
+def test_trace_run_inline_summary_and_metrics(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "run", "--scale", "0.01", "--out", str(out),
+                 "--no-cache", "--summarize", "--metrics"]) == 0
+    stdout = capsys.readouterr().out
+    assert "distinct names" in stdout
+    import json
+
+    # stdout is the metrics JSON followed by the span table; the JSON is
+    # everything before the table's "N spans, M distinct names" header.
+    snap = json.loads(stdout[:stdout.index("distinct names")]
+                      .rsplit("\n", 1)[0])
+    assert snap["counters"]["compiler.compiles_proposed"] > 0
+    assert snap["counters"]["pipeline.cycles"] > 0
+
+
+def test_trace_summarize_missing_file(capsys):
+    assert main(["trace", "summarize", "no-such-trace.jsonl"]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_tables_trace_flag(tmp_path, capsys):
+    out = tmp_path / "tables-trace.jsonl"
+    assert main(["tables", "--scale", "0.01", "--no-cache",
+                 "--trace", str(out)]) == 0
+    from repro.obs import read_trace
+
+    assert any(r["name"] == "suite.run" for r in read_trace(out))
+
+
+def test_run_sample_heat_report(capsys):
+    assert main(["run", "compress", "--scale", "0.01",
+                 "--sample", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "heat report" in out
+    assert "samples" in out

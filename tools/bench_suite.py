@@ -10,10 +10,18 @@ Times three phases over a throwaway cache directory:
   over worker processes.
 
 Writes ``BENCH_engine.json`` with wall-clock seconds per phase, the
-compile/simulate counter totals, cache hit rates, and the warm/parallel
-speedups over cold.  Counters are per-process, so the parallel phase
-reports 0 compiles/simulates in this (parent) process — the work shows
-up in its cache misses instead.  Run from the repository root::
+compile/simulate counter totals, cache hit rates, the pool's execution
+decision per phase (``serial``/``serial-oversubscribed``/``parallel``,
+see :func:`repro.engine.pool.execution_mode`), and the warm/parallel
+speedups over cold.  Counters are per-process, so a genuinely parallel
+phase reports 0 compiles/simulates in this (parent) process — the work
+shows up in its cache misses instead.
+
+A fourth phase measures **observability overhead**: the same pipeline
+trace replayed through :class:`~repro.sim.pipeline.TimingSim` with
+observability disabled (twice — the A/A delta bounds timer noise) and
+enabled; the disabled overhead must stay under 5 %.  Written separately
+to ``BENCH_obs.json``.  Run from the repository root::
 
     python tools/bench_suite.py [--scale 0.1] [--jobs 4] [--out FILE]
 """
@@ -31,6 +39,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine import COUNTERS, ArtifactCache, run_suite  # noqa: E402
+from repro.engine import pool as _pool  # noqa: E402
 
 
 def _timed_run(scale: float, max_steps: int, cache: ArtifactCache,
@@ -38,6 +47,7 @@ def _timed_run(scale: float, max_steps: int, cache: ArtifactCache,
     """One suite run; returns wall-clock plus counter/cache deltas."""
     COUNTERS.reset()
     cache.counters.reset()
+    _pool.LAST_DECISION = None
     t0 = time.perf_counter()
     runs = run_suite(scale=scale, max_steps=max_steps, cache=cache,
                      jobs=jobs)
@@ -53,7 +63,78 @@ def _timed_run(scale: float, max_steps: int, cache: ArtifactCache,
         "cache_misses": cache.counters.misses,
         "hit_rate": round(cache.counters.hit_rate, 4),
         "failed_cells": failed,
+        # None when jobs=1 short-circuited before the pool was consulted.
+        "pool_decision": (_pool.LAST_DECISION.to_dict()
+                          if _pool.LAST_DECISION else None),
     }
+
+
+def bench_obs_overhead(scale: float, max_steps: int, repeats: int = 9,
+                       out: str = "BENCH_obs.json") -> dict:
+    """Measure the observability layer's overhead on ``sim.pipeline``.
+
+    Materializes one benchmark's dynamic trace, then replays it through
+    :class:`TimingSim` ``repeats`` times per mode, taking the minimum
+    (the standard noise-robust estimator for timing microbenchmarks —
+    scheduler preemptions only ever add time):
+
+    * ``disabled``       — ``observer=None`` (the default production path);
+    * ``disabled_again`` — the same thing re-measured, so the A/A delta
+      reports how much of any "overhead" is just timer noise;
+    * ``enabled``        — metrics registry on + a PipelineObserver.
+
+    The acceptance gate is on the *disabled* path: with the registry off
+    and no observer the simulator must run the pre-observability code,
+    so its overhead bound is the A/A noise figure.
+    """
+    from repro.obs import PipelineObserver, metrics_disable, metrics_enable
+    from repro.sim import FunctionalSim, TimingSim, r10k_config
+    from repro.workloads import benchmark_programs
+
+    prog = benchmark_programs(scale)["compress"]
+    entries = list(FunctionalSim(prog, max_steps=max_steps,
+                                 record_outcomes=False).trace())
+    config = r10k_config("twobit")
+
+    def _best(observed: bool) -> float:
+        times = []
+        for _ in range(repeats):
+            observer = PipelineObserver() if observed else None
+            t0 = time.perf_counter()
+            TimingSim(config, observer=observer).run(iter(entries))
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    metrics_disable()
+    disabled = _best(False)
+    disabled_again = _best(False)
+    metrics_enable()
+    enabled = _best(True)
+    metrics_disable()
+
+    def _pct(new: float, base: float) -> float:
+        return round(100.0 * (new - base) / base, 2) if base else 0.0
+
+    record = {
+        "bench": "obs_overhead",
+        "scale": scale,
+        "trace_entries": len(entries),
+        "repeats": repeats,
+        "seconds": {"disabled": round(disabled, 4),
+                    "disabled_again": round(disabled_again, 4),
+                    "enabled": round(enabled, 4)},
+        # A/A delta: what the same code measures against itself (noise).
+        "noise_pct": _pct(disabled_again, disabled),
+        "overhead_disabled_pct": _pct(disabled_again, disabled),
+        "overhead_enabled_pct": _pct(enabled, disabled),
+        "gate_disabled_lt_5pct": abs(_pct(disabled_again, disabled)) < 5.0,
+    }
+    Path(out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"obs overhead: disabled={record['seconds']['disabled']}s "
+          f"A/A noise={record['noise_pct']}% "
+          f"enabled=+{record['overhead_enabled_pct']}% -> {out}",
+          file=sys.stderr)
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="per-cell functional step budget")
     ap.add_argument("--out", default="BENCH_engine.json",
                     help="output path (default BENCH_engine.json)")
+    ap.add_argument("--obs-out", default="BENCH_obs.json",
+                    help="observability-overhead output path "
+                         "(default BENCH_obs.json)")
+    ap.add_argument("--skip-obs", action="store_true",
+                    help="skip the observability-overhead phase")
     args = ap.parse_args(argv)
 
     phases: dict[str, dict] = {}
@@ -105,10 +191,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"cold={cold_s}s warm={phases['warm']['seconds']}s "
           f"parallel={phases['parallel']['seconds']}s "
           f"-> {args.out}", file=sys.stderr)
+    rc = 0
+    if not args.skip_obs:
+        print(f"obs overhead (scale={args.scale}) ...", file=sys.stderr)
+        obs = bench_obs_overhead(args.scale, args.max_steps,
+                                 out=args.obs_out)
+        if not obs["gate_disabled_lt_5pct"]:
+            print("WARNING: disabled-observability overhead exceeded 5%",
+                  file=sys.stderr)
+            rc = 1
     if not record["cold_gt_warm"]:
         print("WARNING: warm run was not faster than cold", file=sys.stderr)
         return 1
-    return 0
+    return rc
 
 
 if __name__ == "__main__":
