@@ -12,7 +12,9 @@ Commands:
   the timing counters;
 * ``verify``  — IR-verify and differentially check the baseline and
   proposed compiles of a benchmark (or ``all``) against the original
-  program: structural invariants plus architectural equivalence;
+  program: structural invariants plus architectural equivalence; with
+  ``--spectre`` it instead runs the speculative-safety taint analysis
+  and exits nonzero when any gadget is flagged (see docs/ROBUSTNESS.md);
 * ``fuzz``    — run a differential fuzzing campaign over generated
   programs (all schemes cross-checked against the functional simulator),
   shrink and triage any divergence into ``corpus/``, or ``--replay`` an
@@ -274,7 +276,34 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     with _session_from(args) as session:
+        if args.spectre:
+            return _spectre_in_session(args, session)
         return _verify_in_session(args, session)
+
+
+def _spectre_in_session(args: argparse.Namespace, session: Session) -> int:
+    """Body of ``verify --spectre``: flag Spectre-v1 gadgets statically.
+
+    Accepts the same program argument as plain ``verify`` (benchmark
+    name, ``.s`` file, or ``all``) and exits 1 when any finding exists —
+    the CI contract: known-positive gadget files must fail, the stock
+    workloads must stay clean.
+    """
+    untrusted = (tuple(args.untrusted.split(","))
+                 if args.untrusted else None)
+    total = 0
+    names = sorted(BENCHMARKS) if args.program == "all" else [args.program]
+    for name in names:
+        prog = _load_program(name, args.scale)
+        findings = session.spectre(prog, sew=args.sew, untrusted=untrusted)
+        total += len(findings)
+        print(f"{name:<12} spectre   "
+              f"{'CLEAN' if not findings else f'{len(findings)} finding(s)'}"
+              f" (sew={args.sew})")
+        for f in findings:
+            print(f"    {f}")
+    print(f"spectre: {'clean' if not total else f'{total} finding(s)'}")
+    return 1 if total else 0
 
 
 def _verify_in_session(args: argparse.Namespace, session: Session) -> int:
@@ -320,10 +349,23 @@ def _verify_in_session(args: argparse.Namespace, session: Session) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     prog = _load_program(args.program, args.scale)
-    if args.proposed:
+    scheme = args.scheme
+    if scheme is None:  # legacy flags
+        scheme = ("proposed" if args.proposed
+                  else "raw" if args.raw else "baseline")
+    if scheme == "proposed":
         prog = compile_proposed(prog).program
-    elif not args.raw:
+    elif scheme == "safe-speculative":
+        from dataclasses import replace
+
+        from .core.heuristics import DEFAULT_HEURISTICS
+
+        prog = compile_proposed(
+            prog, heur=replace(DEFAULT_HEURISTICS,
+                               spectre_safe=True)).program
+    elif scheme == "baseline":
         prog = compile_baseline(prog).program
+    # scheme == "raw": simulate the program untouched
     observer = None
     if args.sample:
         from .obs import PipelineObserver
@@ -462,6 +504,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--max-steps", type=int, default=20_000_000,
                    help="step budget for the reference run")
+    p.add_argument("--spectre", action="store_true",
+                   help="run the speculative-safety (Spectre-v1) taint "
+                        "analysis instead; exit 1 when any gadget is "
+                        "flagged")
+    p.add_argument("--sew", type=int, default=16, metavar="N",
+                   help="speculative-execution window for --spectre "
+                        "(instructions, default 16)")
+    p.add_argument("--untrusted", metavar="R1,R2",
+                   help="registers treated as attacker-controlled at "
+                        "entry (default r4,r5,r6,r7)")
     _engine_flags(p)
     p.set_defaults(func=cmd_verify)
 
@@ -530,10 +582,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--predictor", default="twobit",
                    choices=["twobit", "twolevel", "perfect", "static-taken"])
+    p.add_argument("--scheme", default=None,
+                   choices=["raw", "baseline", "proposed",
+                            "safe-speculative"],
+                   help="compilation scheme before simulating "
+                        "(safe-speculative = proposed with Spectre-flagged "
+                        "hoists fenced; default baseline)")
     p.add_argument("--proposed", action="store_true",
-                   help="compile with the proposed pipeline first")
+                   help="compile with the proposed pipeline first "
+                        "(same as --scheme proposed)")
     p.add_argument("--raw", action="store_true",
-                   help="skip baseline local scheduling")
+                   help="skip baseline local scheduling "
+                        "(same as --scheme raw)")
     p.add_argument("--sample", type=int, default=0, metavar="N",
                    help="sample every N-th retired instruction and print "
                         "a per-basic-block heat report")

@@ -101,7 +101,7 @@ class Session:
     def run_benchmark(self, name: str, prog, *,
                       max_steps: Optional[int] = None,
                       strict: Optional[bool] = None):
-        """Run the three schemes on one program (serial, uncached)."""
+        """Run every evaluation scheme on one program (serial, uncached)."""
         from .eval import runner as _runner
 
         fn = resolve_impl(_runner.run_benchmark)
@@ -154,6 +154,26 @@ class Session:
             cfg = _campaign.CampaignConfig(**kw)
         fn = resolve_impl(_campaign.run_campaign)
         return fn(cfg, progress=progress)
+
+    def spectre(self, prog, *, sew: Optional[int] = None,
+                untrusted: Optional[tuple] = None):
+        """Run the speculative-safety analysis on one program.
+
+        Returns the (possibly empty) list of
+        :class:`~repro.robust.spectre.SpectreFinding` records.  Knobs
+        default to the session heuristics' ``spectre_sew`` /
+        ``spectre_untrusted`` / ``spectre_fence`` fields.
+        """
+        from .robust.spectre import SpectreConfig, analyze_program
+
+        config = SpectreConfig(
+            untrusted=(tuple(untrusted) if untrusted is not None
+                       else tuple(self.heur.spectre_untrusted)),
+            sew=self.heur.spectre_sew if sew is None else sew,
+            mode="fence" if self.heur.spectre_fence else "suppress")
+        with _trace.span("spectre.analyze", program=prog.name,
+                         sew=config.sew):
+            return analyze_program(prog, config)
 
     # -- reporting ---------------------------------------------------------
 

@@ -51,6 +51,19 @@ class FeedbackHeuristics:
     speculation_bias: float = 0.65
     max_moves_per_block: int = 4
 
+    # Speculative-safety knobs (the safe-speculative scheme; see
+    # repro.robust.spectre).  All of these flow into engine cache keys
+    # automatically because FeedbackHeuristics is canonicalized field by
+    # field (repro.engine.keys.canonical).
+    #: gate flagged hoists through the spectre analysis
+    spectre_safe: bool = False
+    #: speculative-execution window the analysis walks (instructions)
+    spectre_sew: int = 16
+    #: True: plant a fence before flagged hoists; False: refuse them
+    spectre_fence: bool = True
+    #: registers treated as attacker-controlled at program entry
+    spectre_untrusted: tuple[str, ...] = ("r4", "r5", "r6", "r7")
+
 
 DEFAULT_HEURISTICS = FeedbackHeuristics()
 

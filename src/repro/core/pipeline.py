@@ -87,6 +87,9 @@ class CompileResult:
         if self.region_report is not None:
             lines.append(f"  ops speculated:      {self.region_report.speculated}")
             lines.append(f"  ops duplicated down: {self.region_report.duplicated}")
+            if self.region_report.fenced or self.region_report.suppressed:
+                lines.append(f"  hoists fenced:       {self.region_report.fenced}"
+                             f" (suppressed: {self.region_report.suppressed})")
         if self.fallback is not None:
             lines.append(f"  DEGRADED to:         {self.fallback}")
         for f in self.failures:
@@ -266,15 +269,23 @@ def _compile_proposed_inner(prog: Program, heur: FeedbackHeuristics,
         result.likely_report = box.run(
             "likely", lambda: apply_branch_likely(cfg, profile))
 
-    # 4. Profile-prioritized speculation + local scheduling.
+    # 4. Profile-prioritized speculation + local scheduling.  Under the
+    #    safe-speculative scheme a taint-analysis guard vets every hoist
+    #    (imported lazily: robust.spectre is an optional consumer of core).
     box.run("annotate", lambda: profile.annotate(cfg))
     if heur.enable_speculation:
+        hoist_guard = None
+        if heur.spectre_safe:
+            from ..robust.spectre import (SpectreHoistGuard,
+                                          config_from_heuristics)
+            hoist_guard = SpectreHoistGuard(config_from_heuristics(heur))
         result.region_report = box.run(
             "speculate",
             lambda: schedule_region(
                 cfg, model, bias_threshold=heur.speculation_bias,
                 max_moves_per_block=heur.max_moves_per_block,
-                profile=profile, mispredict_window=heur.mispredict_penalty))
+                profile=profile, mispredict_window=heur.mispredict_penalty,
+                hoist_guard=hoist_guard))
     else:
         def _cleanup() -> None:
             eliminate_dead_code(cfg)
@@ -304,11 +315,17 @@ def _compile_proposed_inner(prog: Program, heur: FeedbackHeuristics,
 
 def compile_variant(prog: Program, *, likely: bool = True, split: bool = True,
                     ifconvert: bool = True, speculation: bool = True,
+                    spectre: bool = False,
                     heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
                     **kw) -> CompileResult:
-    """Ablation helper: the proposed pipeline with features toggled."""
+    """Ablation helper: the proposed pipeline with features toggled.
+
+    ``spectre=True`` additionally arms the speculative-safety guard
+    (the safe-speculative scheme; see :mod:`repro.robust.spectre`).
+    """
     from dataclasses import replace
 
     heur = replace(heur, enable_likely=likely, enable_split=split,
-                   enable_ifconvert=ifconvert, enable_speculation=speculation)
+                   enable_ifconvert=ifconvert, enable_speculation=speculation,
+                   spectre_safe=spectre)
     return compile_proposed(prog, heur=heur, **kw)

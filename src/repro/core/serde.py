@@ -23,7 +23,9 @@ from typing import Any, Sequence
 #: Version stamped into every result payload.  Bump whenever any result
 #: type's serialized shape or meaning changes (and bump
 #: ``repro.engine.keys.SCHEMA_VERSION`` with it so cached payloads roll).
-SCHEMA_VERSION = 1
+#: v2: fence counters in ExecStats/SimStats, spectre fields in the
+#: compile-result region report, SpectreFinding payloads.
+SCHEMA_VERSION = 2
 
 #: The key carrying the version inside every payload.
 VERSION_KEY = "schema_version"

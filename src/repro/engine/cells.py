@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import signal
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Optional
 
 from ..core import serde
@@ -38,12 +38,14 @@ from ..sim.functional import ExecStats, FunctionalSim
 from ..sim.pipeline import TimingSim
 from ..sim.stats import SimStats
 
-#: The paper's three schemes as (scheme, pipeline kind, predictor) rows —
-#: the canonical plan the suite, cache keys, and workers all share.
+#: The paper's three schemes — plus the speculative-safety variant of the
+#: proposed one (PR 6) — as (scheme, pipeline kind, predictor) rows: the
+#: canonical plan the suite, cache keys, and workers all share.
 SCHEME_PLAN = (
     ("2bitBP", "base", "twobit"),
     ("Proposed", "prop", "twobit"),
     ("PerfectBP", "base", "perfect"),
+    ("safe-speculative", "safe", "twobit"),
 )
 
 #: Per-cell retry count before a failure is recorded (transient faults).
@@ -79,7 +81,7 @@ class CellSpec:
 
     benchmark: str
     scheme: str
-    kind: str                      # "base" | "prop"
+    kind: str                      # "base" | "prop" | "safe"
     predictor: str                 # "twobit" | "perfect" | ...
     program: dict                  # Program.to_dict() payload
     heur: FeedbackHeuristics = DEFAULT_HEURISTICS
@@ -100,11 +102,18 @@ def overrides_as_items(config_overrides: Optional[dict]) -> tuple:
 
 def counted_compile(kind: str, prog: Program, heur: FeedbackHeuristics,
                     max_steps: int) -> CompileResult:
-    """Compile *prog* for a pipeline *kind*, incrementing the counter."""
+    """Compile *prog* for a pipeline *kind*, incrementing the counter.
+
+    Kind ``"safe"`` is the proposed pipeline with the speculative-safety
+    guard forced on (the safe-speculative scheme); it shares nothing with
+    the ``"prop"`` compile memo because the guard changes the emitted code.
+    """
     COUNTERS.compiles += 1
     REGISTRY.inc("engine.compiles")
     if kind == "base":
         return compile_baseline(prog)
+    if kind == "safe":
+        heur = replace(heur, spectre_safe=True)
     return compile_proposed(prog, heur=heur, max_steps=max_steps)
 
 

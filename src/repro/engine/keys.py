@@ -35,7 +35,9 @@ from ..sim.config import MachineConfig
 #: payload schema or to code whose output the cache stores (compiler
 #: passes, timing model): stale entries then simply stop matching.
 #: v2: result payloads carry a ``schema_version`` field (repro.core.serde).
-SCHEMA_VERSION = 2
+#: v3: fence/spectre counters in result payloads; spectre knobs on
+#: FeedbackHeuristics (serde v2).
+SCHEMA_VERSION = 3
 
 
 def canonical(obj: Any) -> Any:

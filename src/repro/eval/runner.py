@@ -29,7 +29,7 @@ so monkeypatched fault injection keeps working.
 from __future__ import annotations
 
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from .._deprecation import deprecated
@@ -46,8 +46,10 @@ from ..sim.pipeline import TimingSim
 from ..sim.stats import SimStats
 from ..workloads import benchmark_programs
 
-#: Scheme names in the paper's column order.
-SCHEMES = ("2bitBP", "Proposed", "PerfectBP")
+#: Scheme names in the paper's column order, plus the speculative-safety
+#: variant (``safe-speculative``): the Proposed pipeline with every
+#: Spectre-flagged hoist fenced (see :mod:`repro.robust.spectre`).
+SCHEMES = ("2bitBP", "Proposed", "PerfectBP", "safe-speculative")
 
 #: Per-cell retry count before a failure is recorded (transient faults).
 CELL_RETRIES = 1
@@ -197,7 +199,7 @@ def run_benchmark_impl(name: str, prog: Program,
                        config_overrides: Optional[dict] = None,
                        max_steps: int = 50_000_000,
                        strict: bool = False) -> BenchmarkRun:
-    """Run the three schemes on one benchmark program.
+    """Run every scheme in :data:`SCHEMES` on one benchmark program.
 
     With ``strict=False`` (default) a crashing cell is retried once and
     then recorded as failed; with ``strict=True`` the exception propagates.
@@ -212,8 +214,15 @@ def run_benchmark_impl(name: str, prog: Program,
     def _compiled(kind: str) -> CompileResult:
         if kind not in compiles:
             COUNTERS.compiles += 1
-            compiles[kind] = compile_baseline(prog) if kind == "base" \
-                else compile_proposed(prog, heur=heur, max_steps=max_steps)
+            if kind == "base":
+                compiles[kind] = compile_baseline(prog)
+            elif kind == "safe":
+                compiles[kind] = compile_proposed(
+                    prog, heur=replace(heur, spectre_safe=True),
+                    max_steps=max_steps)
+            else:
+                compiles[kind] = compile_proposed(prog, heur=heur,
+                                                  max_steps=max_steps)
         return compiles[kind]
 
     def _cell(scheme: str, kind: str, predictor: str) -> SchemeResult:
@@ -224,7 +233,8 @@ def run_benchmark_impl(name: str, prog: Program,
 
     for scheme, kind, predictor in (("2bitBP", "base", "twobit"),
                                     ("Proposed", "prop", "twobit"),
-                                    ("PerfectBP", "base", "perfect")):
+                                    ("PerfectBP", "base", "perfect"),
+                                    ("safe-speculative", "safe", "twobit")):
         run.results[scheme] = _run_cell(
             name, scheme,
             lambda s=scheme, k=kind, p=predictor: _cell(s, k, p),

@@ -201,22 +201,28 @@ def format_table4(runs: Mapping[str, BenchmarkRun]) -> str:
 
 
 def format_improvements(runs: Mapping[str, BenchmarkRun]) -> str:
-    """Headline summary: Proposed/2bitBP and PerfectBP/2bitBP IPC ratios."""
+    """Headline summary: Proposed/2bitBP, PerfectBP/2bitBP and (when the
+    scheme ran) safe-speculative/2bitBP IPC ratios — the last one is the
+    safety cost of fencing Spectre-flagged hoists."""
     lines = ["IPC improvement over the 2-bit baseline",
-             f"{'Benchmark':<12} {'Proposed':>10} {'Perfect':>10}"]
+             f"{'Benchmark':<12} {'Proposed':>10} {'Perfect':>10}"
+             f" {'Safe':>10}"]
     ratios = []
     failed = 0
     for name in _ordered(runs):
         r = runs[name]
         if not r.ok:
             reason = r.failures[0].failure or "unknown"
-            lines.append(f"{name:<12} {_fail_cell(reason, 21)}")
+            lines.append(f"{name:<12} {_fail_cell(reason, 32)}")
             failed += 1
             continue
         prop = r.improvement
         perf = r["PerfectBP"].stats.ipc / r["2bitBP"].stats.ipc
+        safe = r.results.get("safe-speculative")
+        safe_txt = (f" {safe.stats.ipc / r['2bitBP'].stats.ipc:>9.2f}x"
+                    if safe is not None and safe.ok else f" {'-':>10}")
         ratios.append(prop)
-        lines.append(f"{name:<12} {prop:>9.2f}x {perf:>9.2f}x")
+        lines.append(f"{name:<12} {prop:>9.2f}x {perf:>9.2f}x{safe_txt}")
     if ratios:
         lines.append(f"{'geo-mean':<12} "
                      f"{(_geomean(ratios)):>9.2f}x"

@@ -83,6 +83,7 @@ class OpInfo:
     is_call: bool = False
     is_return: bool = False
     is_halt: bool = False
+    is_fence: bool = False
 
     @property
     def is_control(self) -> bool:
@@ -196,6 +197,12 @@ _op("cvtfi", Fmt.RR, Unit.FPADD, "fpadd")   # fp reg -> int reg (truncate)
 # --- misc --------------------------------------------------------------------
 _op("nop", Fmt.NONE, Unit.NONE, "alu")
 _op("halt", Fmt.NONE, Unit.NONE, "alu", is_halt=True)
+# Speculation barrier: architecturally a no-op, but the timing simulator
+# refuses to dispatch past it until every older instruction has completed
+# (plus a configurable drain penalty, ``MachineConfig.fence_stall``).  The
+# safe-speculative compilation scheme inserts it in front of hoisted loads
+# that the spectre analysis flags (see :mod:`repro.robust.spectre`).
+_op("fence", Fmt.NONE, Unit.NONE, "alu", is_fence=True)
 
 OPCODES: dict[str, OpInfo] = dict(_TABLE)
 

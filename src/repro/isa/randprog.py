@@ -18,6 +18,12 @@ from .program import Program
 
 #: Registers the generator plays with (leaving the rest as a rename pool).
 GEN_REGS = [f"r{i}" for i in range(1, 16)]
+#: Registers treated as attacker-controlled by the gadget-seeding mode —
+#: kept in sync with :data:`repro.robust.spectre.UNTRUSTED_REGS`.  With
+#: ``untrusted_inputs`` set they are left unseeded (they read as zero at
+#: runtime, keeping functional determinism) so the static taint analysis
+#: sees genuine entry taint.
+UNTRUSTED_REGS = ("r4", "r5", "r6", "r7")
 #: Scratch memory base used by generated loads/stores.
 MEM_BASE = 0x0005_0000
 #: cc registers the guarded-op emitter cycles through.
@@ -45,6 +51,13 @@ class RandProgConfig:
     #: toggle factor), "phased" (one flip mid-loop: balanced frequency but
     #: near-zero toggle — the classifier's hardest case)
     branch_pattern: str = "mixed"
+    #: leave :data:`UNTRUSTED_REGS` unseeded so they carry entry taint for
+    #: the speculative-safety analysis (repro.robust.spectre)
+    untrusted_inputs: bool = False
+    #: probability that a diamond is a Spectre-shaped gadget: a branch on
+    #: an untrusted register whose taken arm opens with a dependent
+    #: double-load chain (needs ``untrusted_inputs`` and ``with_memory``)
+    gadget_density: float = 0.0
     seed: int = 0
     _rng: random.Random = field(init=False, repr=False, default=None)
 
@@ -89,6 +102,21 @@ def _random_op(rng: random.Random, cfg: RandProgConfig) -> str:
             f"    li   r16, {MEM_BASE}\n"
             f"    add  r16, r16, {d}\n"
             f"    sw   {b}, 0(r16)")
+
+
+def _gadget_lines(rng: random.Random, untrusted: str) -> str:
+    """The access→transmit half of a Spectre gadget (both loads masked to
+    the scratch region, so the program stays architecturally well-behaved
+    no matter what the unseeded register holds)."""
+    d = rng.choice(GEN_REGS)
+    return (f"    andi r19, {untrusted}, 0xFC\n"
+            f"    li   r16, {MEM_BASE}\n"
+            f"    add  r16, r16, r19\n"
+            f"    lw   r19, 0(r16)\n"
+            f"    andi r19, r19, 0xFC\n"
+            f"    li   r16, {MEM_BASE}\n"
+            f"    add  r16, r16, r19\n"
+            f"    lw   {d}, 0(r16)")
 
 
 def _random_branch(rng: random.Random, target: str) -> str:
@@ -145,8 +173,13 @@ def random_program(seed: int = 0,
     rng = random.Random(seed ^ cfg.seed)
 
     lines: list[str] = [".text", "main:"]
-    # Seed registers with data-dependent values.
+    # Seed registers with data-dependent values.  In gadget-seeding mode
+    # the untrusted registers stay unseeded: the functional simulator
+    # zeroes them (deterministic), while the static taint analysis sees
+    # attacker-controlled entry values.
     for i, r in enumerate(GEN_REGS[:8]):
+        if cfg.untrusted_inputs and r in UNTRUSTED_REGS:
+            continue
         lines.append(f"    li   {r}, {rng.randrange(-50, 120)}")
 
     iters = rng.randrange(*cfg.loop_iterations) if cfg.with_loop else 1
@@ -160,11 +193,22 @@ def random_program(seed: int = 0,
     calls_emitted = 0
     for d in range(ndiamonds):
         then_l, join_l = f"then_{d}", f"join_{d}"
-        lines.append(_pattern_branch(rng, cfg, then_l, iters))
+        gadget = (cfg.gadget_density > 0 and cfg.untrusted_inputs
+                  and cfg.with_memory
+                  and rng.random() < cfg.gadget_density)
+        if gadget:
+            # Spectre-shaped diamond: branch on an untrusted input, taken
+            # arm opens with the dependent double-load chain.
+            u = rng.choice(UNTRUSTED_REGS)
+            lines.append(f"    {rng.choice(['bnez', 'bgtz'])} {u}, {then_l}")
+        else:
+            lines.append(_pattern_branch(rng, cfg, then_l, iters))
         for _ in range(rng.randrange(*cfg.ops_per_block)):
             lines.append(_random_op(rng, cfg))
         lines.append(f"    j    {join_l}")
         lines.append(f"{then_l}:")
+        if gadget:
+            lines.append(_gadget_lines(rng, u))
         for _ in range(rng.randrange(*cfg.ops_per_block)):
             lines.append(_random_op(rng, cfg))
         lines.append(f"{join_l}:")

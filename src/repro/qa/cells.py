@@ -38,6 +38,9 @@ FUZZ_SCHEMES: tuple[tuple[str, Optional[dict]], ...] = (
     ("speculative", {"ifconvert": False}),    # splitting + speculation
     ("guarded", {"split": False, "speculation": False}),  # if-conversion
     ("combined", {}),                         # the full proposed pipeline
+    # speculation behind the Spectre hoist guard: flagged hoists fenced —
+    # the certification that fences never change architectural results
+    ("safe-speculative", {"ifconvert": False, "spectre": True}),
 )
 
 #: Default per-run functional step budget (campaign programs are tiny).

@@ -73,6 +73,11 @@ LATTICE: tuple[FuzzStrategy, ...] = (
     FuzzStrategy("dense", "wide blocks: everything on, big diamonds",
                  RandProgConfig(num_blocks=7, ops_per_block=(3, 9),
                                 guard_density=0.15, with_calls=True)),
+    FuzzStrategy("gadgets", "Spectre-shaped diamonds: branches on "
+                            "untrusted inputs feeding dependent "
+                            "double-load chains",
+                 RandProgConfig(untrusted_inputs=True, gadget_density=0.6,
+                                num_blocks=5)),
 )
 
 #: Lattice lookup by name.

@@ -9,7 +9,9 @@ Four cooperating layers (see ``docs/ROBUSTNESS.md``):
 * :mod:`~repro.robust.diffcheck` — bounded co-simulation proving the
   transformed program preserves architectural behavior;
 * :mod:`~repro.robust.faults` — the fault-injection taxonomy that proves
-  the other three layers actually catch what they claim to.
+  the other three layers actually catch what they claim to;
+* :mod:`~repro.robust.spectre` — speculative-safety (Spectre-v1) taint
+  analysis and the hoist guard behind the safe-speculative scheme.
 """
 
 from .verifier import (
@@ -26,6 +28,11 @@ from .faults import (
     ALL_FAULTS, CLOBBER_VALUE, FaultClass, PASS_FAULTS, PROFILE_FAULTS,
     PROGRAM_FAULTS, buggy_pass, corrupt_profile, inject_program_fault,
 )
+from .spectre import (
+    FINDING_KINDS, SpectreConfig, SpectreFinding, SpectreHoistGuard,
+    TAINT_SECRET, TAINT_UNTRUSTED, UNTRUSTED_REGS, analyze_cfg,
+    analyze_program, taint_fixpoint,
+)
 
 __all__ = [
     "VerificationError", "Violation", "assert_valid", "verify_cfg",
@@ -37,4 +44,7 @@ __all__ = [
     "ALL_FAULTS", "CLOBBER_VALUE", "FaultClass", "PASS_FAULTS",
     "PROFILE_FAULTS", "PROGRAM_FAULTS", "buggy_pass", "corrupt_profile",
     "inject_program_fault",
+    "FINDING_KINDS", "SpectreConfig", "SpectreFinding", "SpectreHoistGuard",
+    "TAINT_SECRET", "TAINT_UNTRUSTED", "UNTRUSTED_REGS", "analyze_cfg",
+    "analyze_program", "taint_fixpoint",
 ]

@@ -151,6 +151,25 @@ def _clobbered_register(prog: Program, rng: random.Random,
             return
 
 
+def _unknown_opcode(prog: Program, rng: random.Random,
+                    counts: Optional[list[int]]) -> Iterator[Program]:
+    # A buggy pass rewriting ``ins.op`` in place can synthesize a mnemonic
+    # no simulator models while the cached OpInfo keeps the instruction
+    # structurally plausible.  Both simulators must refuse to execute it
+    # (raising UnmodeledOpcode, which diffcheck contains as a crash)
+    # rather than silently treat it as a nop.
+    emitted = 0
+    for i, ins in enumerate(prog.instructions):
+        if ins.is_control or ins.info.is_call or not _executed(counts, i):
+            continue
+        bad = prog.copy()
+        bad.instructions[i].op = "__undocumented_op__"
+        yield bad
+        emitted += 1
+        if emitted >= 4:
+            return
+
+
 def _branch_retarget(prog: Program, rng: random.Random,
                      counts: Optional[list[int]]) -> Iterator[Program]:
     emitted = 0
@@ -197,6 +216,10 @@ PROGRAM_FAULTS: dict[str, tuple[FaultClass, Callable]] = {
                     "a conditional branch is retargeted at another "
                     "existing label"),
          _branch_retarget),
+        (FaultClass("unknown-opcode", "program", "diffcheck",
+                    "an instruction's mnemonic is rewritten in place to "
+                    "an opcode no simulator models"),
+         _unknown_opcode),
     ]
 }
 

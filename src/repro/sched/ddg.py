@@ -149,6 +149,15 @@ def build_ddg(instructions: list[Instruction],
                 # def before the call (register args/side effects).
                 pass
             barrier = i
+        if ins.info.is_fence:
+            # A speculation barrier pins the surrounding order completely:
+            # nothing that precedes it in program order may issue after it
+            # (and via the ``barrier`` edge above, nothing after may issue
+            # before) — otherwise the local scheduler would re-hoist the
+            # very load the fence was inserted to hold back.
+            for j in range(i):
+                ddg.add_edge(j, i, "ctrl", 0)
+            barrier = i
         if ins.is_control and i != n - 1 and not ins.info.is_call:
             raise ValueError("control instruction not at block end")
     # Terminator depends on everything with a path... enforce directly:

@@ -35,6 +35,10 @@ class RegionReport:
     duplicated: int = 0
     blocks_touched: int = 0
     per_block: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: hoists performed behind a serializing fence (safe-speculative)
+    fenced: int = 0
+    #: hoists the speculative-safety guard refused (safe-speculative)
+    suppressed: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable form (engine artifact-cache payload)."""
@@ -42,7 +46,9 @@ class RegionReport:
                 "duplicated": self.duplicated,
                 "blocks_touched": self.blocks_touched,
                 "per_block": {str(bid): list(v)
-                              for bid, v in self.per_block.items()}}
+                              for bid, v in self.per_block.items()},
+                "fenced": self.fenced,
+                "suppressed": self.suppressed}
 
     @classmethod
     def from_dict(cls, d: dict) -> "RegionReport":
@@ -50,7 +56,9 @@ class RegionReport:
         return cls(speculated=d["speculated"], duplicated=d["duplicated"],
                    blocks_touched=d["blocks_touched"],
                    per_block={int(bid): tuple(v)
-                              for bid, v in d["per_block"].items()})
+                              for bid, v in d["per_block"].items()},
+                   fenced=d.get("fenced", 0),
+                   suppressed=d.get("suppressed", 0))
 
 
 def schedule_region(cfg: CFG, model: MachineModel = DEFAULT_MODEL,
@@ -58,7 +66,8 @@ def schedule_region(cfg: CFG, model: MachineModel = DEFAULT_MODEL,
                     max_moves_per_block: int = 4,
                     run_dce: bool = True,
                     profile=None,
-                    mispredict_window: float = 3.0) -> RegionReport:
+                    mispredict_window: float = 3.0,
+                    hoist_guard=None) -> RegionReport:
     """Apply profile-guided speculation across the CFG, then locally
     re-schedule every block.
 
@@ -69,6 +78,12 @@ def schedule_region(cfg: CFG, model: MachineModel = DEFAULT_MODEL,
     ``misrate * mispredict_window > (1 - p_hot)``, with the branch's
     expected 2-bit miss rate taken from *profile* when available.  The CFG
     is modified in place.
+
+    *hoist_guard* (a :class:`repro.robust.spectre.SpectreHoistGuard` or
+    compatible callable) is threaded through to
+    :func:`~repro.transform.speculation.speculate_from_successor`; when
+    set, flagged hoists are fenced or refused — the safe-speculative
+    scheme's only difference from the plain speculative one.
     """
     report = RegionReport()
     for bb in list(cfg.blocks):
@@ -109,8 +124,11 @@ def schedule_region(cfg: CFG, model: MachineModel = DEFAULT_MODEL,
             # with genuinely idle slots, but measurably regresses on the
             # R10000-like model; see EXPERIMENTS.md.
             rep = speculate_from_successor(cfg, bb.bid, hot.dst, budget,
-                                           pool=pool, allow_rename=False)
+                                           pool=pool, allow_rename=False,
+                                           hoist_guard=hoist_guard)
             moved_here += rep.count
+            report.fenced += len(rep.fenced)
+            report.suppressed += rep.suppressed
         report.speculated += moved_here
 
         # Fill the freed arm slots from a common join, when one exists.

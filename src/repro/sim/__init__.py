@@ -4,8 +4,8 @@ from .config import Latencies, MachineConfig, R10K, r10k_config
 from .memory import AlignmentError, Memory
 from .functional import (
     ExecStats, ExecutionLimitExceeded, FunctionalSim, SimulationDiverged,
-    SimulationError, StepBudgetExceeded, TraceEntry, final_state,
-    run_program, to_signed, to_unsigned,
+    SimulationError, StepBudgetExceeded, TraceEntry, UnmodeledOpcode,
+    final_state, run_program, to_signed, to_unsigned,
 )
 from .branch_pred import (
     BranchPredictor, PerfectPredictor, PredictorStats, StaticTakenPredictor,
@@ -20,7 +20,8 @@ __all__ = [
     "AlignmentError", "Memory",
     "ExecStats", "ExecutionLimitExceeded", "FunctionalSim",
     "SimulationDiverged", "SimulationError", "StepBudgetExceeded",
-    "TraceEntry", "final_state", "run_program", "to_signed", "to_unsigned",
+    "TraceEntry", "UnmodeledOpcode", "final_state", "run_program",
+    "to_signed", "to_unsigned",
     "BranchPredictor", "PerfectPredictor", "PredictorStats",
     "StaticTakenPredictor", "TwoBitPredictor", "TwoLevelPredictor",
     "make_predictor",

@@ -76,6 +76,12 @@ class MachineConfig:
     #: (jr/jalr) stall resolves — models the R10000's fetch/decode depth on
     #: top of branch-resolution time.
     misprediction_recovery: int = 4
+    #: extra drain cycles charged after a ``fence`` completes: dispatch
+    #: stalls until every older instruction has finished, then waits this
+    #: many additional cycles before the front end resumes (models the
+    #: store-buffer/speculation-window flush a real serializing barrier
+    #: performs).
+    fence_stall: int = 3
 
     # Caches
     icache_size: int = 32 * 1024

@@ -39,7 +39,7 @@ MASK32 = 0xFFFF_FFFF
 #: Flat scalar fields shared by :meth:`ExecStats.to_dict`/``from_dict``.
 _EXEC_FIELDS = (
     "steps", "annulled", "branches", "taken_branches", "jumps", "loads",
-    "stores", "div_by_zero", "halted",
+    "stores", "div_by_zero", "fences", "halted",
 )
 
 
@@ -89,6 +89,7 @@ class ExecStats:
     loads: int = 0
     stores: int = 0
     div_by_zero: int = 0
+    fences: int = 0                    # architectural no-ops, counted
     halted: bool = False
     #: per-branch outcome bit vectors, keyed by the branch Instruction uid
     branch_outcomes: dict[int, list[bool]] = field(default_factory=dict)
@@ -165,6 +166,17 @@ class SimulationDiverged(SimulationError):
 
     Typically the result of a corrupted branch/jump target or a ``jr``
     through a register holding a non-code value.
+    """
+
+
+class UnmodeledOpcode(SimulationError):
+    """An opcode with no interpreter case reached the simulator.
+
+    Raised instead of silently mis-executing: an instruction that the
+    opcode table admits but the interpreter does not model would otherwise
+    fall through as a no-op and corrupt the differential baseline.  The
+    fault taxonomy tracks this class as ``unknown-opcode``
+    (:data:`repro.robust.faults.PROGRAM_FAULTS`).
     """
 
 
@@ -488,10 +500,17 @@ class FunctionalSim:
         elif op == "cvtfi":
             self.write(ins.dest, int(self.fregs[ins.srcs[0]]))
 
+        elif op == "fence":
+            # Architecturally a no-op (the barrier only constrains the
+            # timing model); counted so safety-cost reports can show how
+            # many barriers executed dynamically.
+            stats.fences += 1
         elif op == "nop" or op == "halt":
             pass
-        else:  # pragma: no cover - table is exhaustive
-            raise NotImplementedError(f"opcode {op}")
+        else:
+            raise UnmodeledOpcode(
+                f"opcode {op!r} reached the functional simulator but is "
+                f"not modeled", pc=pc, steps=stats.steps)
 
         self.pc = next_pc
         return TraceEntry(ins, pc, taken=taken, addr=addr)

@@ -34,8 +34,13 @@ from ..isa.program import Program
 from .branch_pred import make_predictor
 from .cache import Cache
 from .config import MachineConfig, R10K
-from .functional import FunctionalSim, TraceEntry
+from .functional import FunctionalSim, TraceEntry, UnmodeledOpcode
 from .stats import SimStats
+
+#: ``Unit.NONE`` opcodes the cycle model explicitly handles.  Anything else
+#: with no functional-unit class reaching dispatch is an unmodeled opcode —
+#: it must be rejected, not silently issued as a 1-cycle ALU op.
+_MODELED_NONE_OPS = frozenset(("nop", "halt", "fence"))
 
 #: Map opcode unit class -> reservation queue name.
 _QUEUE_OF_UNIT = {
@@ -149,6 +154,7 @@ class TimingSim:
         self._free_int = config.phys_int_regs - config.arch_int_regs
         self._free_fp = config.phys_fp_regs - config.arch_fp_regs
         self._redirect: Optional[_Entry] = None   # unresolved mispredict/jr
+        self._fence: Optional[_Entry] = None      # unresolved fence barrier
         self._fetch_resume_at = 0                  # icache-stall gate
         self._current_fetch_line = -1
         for q in self._queues:
@@ -326,6 +332,17 @@ class TimingSim:
             self._squash_phantoms()
             self._current_fetch_line = -1  # refetch from the new path
 
+        # Fetch blocked draining behind a fence?  The barrier completes only
+        # once every older instruction has (its deps snapshot the in-flight
+        # window), then dispatch waits out the configured drain penalty.
+        if self._fence is not None:
+            f = self._fence
+            if f.complete is None or cycle < f.complete + cfg.fence_stall:
+                self.stats.fence_stall_cycles += 1
+                self.stats.fetch_stall_cycles += 1
+                return pending
+            self._fence = None
+
         if cycle < self._fetch_resume_at:
             self.stats.icache_stall_cycles += 1
             self.stats.fetch_stall_cycles += 1
@@ -343,6 +360,11 @@ class TimingSim:
                 if not self.icache.access(pending.index * 4):
                     self._fetch_resume_at = cycle + self.cfg.latencies.cache_miss_penalty
                     break
+
+            if ins.info.unit == Unit.NONE and ins.op not in _MODELED_NONE_OPS:
+                raise UnmodeledOpcode(
+                    f"opcode {ins.op!r} reached the timing simulator but "
+                    f"has no modeled functional unit", pc=pending.index)
 
             # Structural resources.
             if len(self._rob) >= cfg.rob_size:
@@ -374,6 +396,12 @@ class TimingSim:
                 p = self._reg_producer.get(r)
                 if p is not None and (p.complete is None or p.complete > cycle):
                     e.deps.append(p)
+            if ins.info.is_fence and not pending.annulled:
+                # The barrier waits on every older in-flight instruction.
+                for x in self._rob:
+                    if not x.phantom and (x.complete is None
+                                          or x.complete > cycle):
+                        e.deps.append(x)
             if not pending.annulled:
                 for r in ins.defs():
                     self._reg_producer[r] = e
@@ -382,7 +410,11 @@ class TimingSim:
 
             # Control-flow effects on fetch.
             stall = False
-            if ins.is_branch and not pending.annulled:
+            if ins.info.is_fence and not pending.annulled:
+                self.stats.fence_events += 1
+                self._fence = e
+                stall = True
+            elif ins.is_branch and not pending.annulled:
                 taken = bool(pending.taken)
                 target = None
                 if taken and ins.target is not None:

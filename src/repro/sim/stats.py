@@ -19,6 +19,7 @@ _SCALAR_FIELDS = (
     "cycles", "committed", "annulled", "dispatched",
     "fetch_stall_cycles", "icache_stall_cycles", "mispredict_events",
     "indirect_stall_events", "wrong_path_squashed",
+    "fence_stall_cycles", "fence_events",
 )
 
 
@@ -46,6 +47,10 @@ class SimStats:
     #: wrong-path instructions dispatched and squashed (only non-zero when
     #: the TimingSim runs with model_wrong_path=True)
     wrong_path_squashed: int = 0
+    #: cycles dispatch was blocked draining behind a ``fence`` barrier
+    fence_stall_cycles: int = 0
+    #: fences dispatched (the safety-cost denominator for the safe scheme)
+    fence_events: int = 0
 
     predictor: PredictorStats = field(default_factory=PredictorStats)
     icache: CacheStats = field(default_factory=CacheStats)

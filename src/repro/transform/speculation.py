@@ -37,6 +37,10 @@ class SpeculationReport:
     hoisted: list[Instruction] = field(default_factory=list)
     copies: list[Instruction] = field(default_factory=list)
     renamed: dict[str, str] = field(default_factory=dict)
+    #: hoists the safety guard allowed only behind a serializing fence
+    fenced: list[Instruction] = field(default_factory=list)
+    #: candidate hoists the safety guard refused outright
+    suppressed: int = 0
 
     @property
     def count(self) -> int:
@@ -62,7 +66,8 @@ def is_speculatable(ins: Instruction) -> bool:
 def speculate_from_successor(cfg: CFG, pred_bid: int, succ_bid: int,
                              max_ops: int,
                              pool: RegisterPool | None = None,
-                             allow_rename: bool = True) -> SpeculationReport:
+                             allow_rename: bool = True,
+                             hoist_guard=None) -> SpeculationReport:
     """Hoist up to *max_ops* instructions from the top of block *succ_bid*
     into *pred_bid* (immediately before its terminator).
 
@@ -70,6 +75,13 @@ def speculate_from_successor(cfg: CFG, pred_bid: int, succ_bid: int,
     on every other path move (no copy insertion) — the "free" hoists a
     profile-guided policy prefers on an out-of-order target, where a
     rename+copy pair lengthens the hot path it was meant to shorten.
+
+    *hoist_guard*, when given, is a speculative-safety oracle (see
+    :class:`repro.robust.spectre.SpectreHoistGuard`): called as
+    ``guard(cfg, pred_bid, ins)`` per candidate, its answer either lets
+    the hoist through (``"allow"``), refuses it (``"suppress"``), or
+    requires a serializing ``fence`` planted directly in front of the
+    hoisted instruction (``"fence"``) — the safe-speculative scheme.
 
     Returns a report; ``report.count`` may be less than *max_ops* when
     candidates run out (non-speculatable op reached, source defined by a
@@ -119,6 +131,18 @@ def speculate_from_successor(cfg: CFG, pred_bid: int, succ_bid: int,
                     break
         if movable and ins.is_load and skipped_store:
             movable = False
+        fence_before = False
+        if movable and hoist_guard is not None:
+            # Query on the substituted form: earlier hoists may have
+            # renamed the registers this candidate reads, and the guard's
+            # taint query must see the names as they exist in pred.
+            action = hoist_guard(cfg, pred_bid,
+                                 ins.with_substituted_uses(moved_map))
+            if action == "suppress":
+                movable = False
+                report.suppressed += 1
+            elif action == "fence":
+                fence_before = True
         if not movable:
             skipped_defs.update(ins.defs())
             if ins.is_store:
@@ -155,6 +179,15 @@ def speculate_from_successor(cfg: CFG, pred_bid: int, succ_bid: int,
             hoisted = hoistable.clone(fresh_uid=True)
             moved_map[dest] = dest
         hoisted.ann["speculated_from"] = succ_bid
+        if fence_before:
+            # One barrier covers every consecutive flagged hoist at this
+            # insertion point; don't stack redundant fences.
+            prev = pred.instructions[insert_at - 1] if insert_at else None
+            if prev is None or not prev.info.is_fence:
+                barrier = make("fence", spectre_fence=True)
+                pred.instructions.insert(insert_at, barrier)
+                insert_at += 1
+            report.fenced.append(hoisted)
         pred.instructions.insert(insert_at, hoisted)
         insert_at += 1
         report.hoisted.append(hoisted)

@@ -31,7 +31,8 @@ def test_run_sweep_warns():
     spec = SweepSpec(scales=(0.01,), benchmarks=("compress",))
     with pytest.warns(DeprecationWarning, match="Session.sweep"):
         records = run_sweep(spec)
-    assert len(records) == 3  # one flat record per scheme cell
+    from repro.engine import SCHEME_PLAN
+    assert len(records) == len(SCHEME_PLAN)  # one flat record per cell
 
 
 def test_run_campaign_warns():

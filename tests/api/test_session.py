@@ -117,7 +117,8 @@ def test_traced_suite_covers_passes_and_cells(tmp_path):
     names = {r["name"] for r in _trace.read_trace(path)}
     for required in ("suite.run", "compile.baseline", "compile.proposed",
                      "pass.profile", "pass.decide",
-                     "cell.2bitBP", "cell.Proposed", "cell.PerfectBP"):
+                     "cell.2bitBP", "cell.Proposed", "cell.PerfectBP",
+                     "cell.safe-speculative"):
         assert required in names, f"missing span {required}"
 
 

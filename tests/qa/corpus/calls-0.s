@@ -1,0 +1,45 @@
+# Regression corpus: 'calls' strategy shape (seed 0);
+# replayed through every fuzz scheme on each test run.
+main:
+    li r1, 48
+    li r2, 57
+    li r3, -40
+    li r4, 16
+    li r5, 80
+    li r6, 74
+    li r7, 53
+    li r8, 27
+    li r17, 0
+    li r18, 6
+loop_head:
+    beqz r9, then_0
+    addi r13, r2, -4
+    j join_0
+then_0:
+    sll r2, r12, 3
+    andi r9, r2, 252
+    li r16, 327680
+    add r16, r16, r9
+    lw r9, 0(r16)
+join_0:
+    jal helper_0
+    addi r8, r14, -7
+    li r13, -77
+    addi r17, r17, 1
+    bne r17, r18, loop_head
+    li r16, 331776
+    sw r1, 0(r16)
+    sw r2, 4(r16)
+    sw r3, 8(r16)
+    sw r4, 12(r16)
+    sw r5, 16(r16)
+    sw r6, 20(r16)
+    sw r7, 24(r16)
+    sw r8, 28(r16)
+    sw r9, 32(r16)
+    sw r10, 36(r16)
+    halt
+helper_0:
+    li r12, 56
+    sll r8, r14, 1
+    jr r31

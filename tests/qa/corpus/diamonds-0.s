@@ -1,0 +1,32 @@
+# Regression corpus: 'diamonds' strategy shape (seed 0);
+# replayed through every fuzz scheme on each test run.
+main:
+    li r1, 48
+    li r2, 57
+    li r3, -40
+    li r4, 16
+    li r5, 80
+    li r6, 74
+    li r7, 53
+    li r8, 27
+    bne r6, r10, then_0
+    li r5, 58
+    j join_0
+then_0:
+    addi r15, r9, -4
+    li r5, 75
+join_0:
+    sub r8, r9, r2
+    sll r7, r6, 1
+    li r16, 331776
+    sw r1, 0(r16)
+    sw r2, 4(r16)
+    sw r3, 8(r16)
+    sw r4, 12(r16)
+    sw r5, 16(r16)
+    sw r6, 20(r16)
+    sw r7, 24(r16)
+    sw r8, 28(r16)
+    sw r9, 32(r16)
+    sw r10, 36(r16)
+    halt

@@ -1,0 +1,47 @@
+# Regression corpus: 'guarded-calls' strategy shape (seed 0);
+# replayed through every fuzz scheme on each test run.
+main:
+    li r1, 48
+    li r2, 57
+    li r3, -40
+    li r4, 16
+    li r5, 80
+    li r6, 74
+    li r7, 53
+    li r8, 27
+    li r17, 0
+    li r18, 6
+loop_head:
+    beqz r9, then_0
+    sub r13, r2, r10
+    j join_0
+then_0:
+    sll r2, r12, 3
+    mul r9, r2, r6
+join_0:
+    jal helper_0
+    cmplt cc0, r9, r5
+    (!cc0) addi r14, r14, 4
+    andi r14, r13, 252
+    li r16, 327680
+    add r16, r16, r14
+    sw r11, 0(r16)
+    addi r17, r17, 1
+    bne r17, r18, loop_head
+    li r16, 331776
+    sw r1, 0(r16)
+    sw r2, 4(r16)
+    sw r3, 8(r16)
+    sw r4, 12(r16)
+    sw r5, 16(r16)
+    sw r6, 20(r16)
+    sw r7, 24(r16)
+    sw r8, 28(r16)
+    sw r9, 32(r16)
+    sw r10, 36(r16)
+    halt
+helper_0:
+    add r4, r12, r6
+    cmple cc1, r15, r10
+    (cc1) addi r4, r4, 2
+    jr r31

@@ -1,0 +1,40 @@
+# Regression corpus: 'phased' strategy shape (seed 0);
+# replayed through every fuzz scheme on each test run.
+main:
+    li r1, 48
+    li r2, 57
+    li r3, -40
+    li r4, 16
+    li r5, 80
+    li r6, 74
+    li r7, 53
+    li r8, 27
+    li r17, 0
+    li r18, 6
+loop_head:
+    addi r19, r17, -3
+    bgtz r19, then_0
+    sub r9, r3, r5
+    j join_0
+then_0:
+    sub r10, r13, r5
+join_0:
+    sll r2, r12, 3
+    andi r9, r2, 252
+    li r16, 327680
+    add r16, r16, r9
+    lw r9, 0(r16)
+    addi r17, r17, 1
+    bne r17, r18, loop_head
+    li r16, 331776
+    sw r1, 0(r16)
+    sw r2, 4(r16)
+    sw r3, 8(r16)
+    sw r4, 12(r16)
+    sw r5, 16(r16)
+    sw r6, 20(r16)
+    sw r7, 24(r16)
+    sw r8, 28(r16)
+    sw r9, 32(r16)
+    sw r10, 36(r16)
+    halt

@@ -1,0 +1,17 @@
+# Known-negative: the branch is on untrusted data, but the first load
+# goes through a constant address — its result is not a secret, so the
+# second load transmits nothing.
+.text
+main:
+    li   r1, 10
+    bgtz r4, chase
+    j    done
+chase:
+    li   r16, 0x50000
+    lw   r3, 0(r16)            # load through a trusted constant address
+    andi r9, r3, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r9
+    lw   r10, 0(r16)
+done:
+    halt

@@ -1,0 +1,19 @@
+# Known-negative: the same double-load chain, but the branch condition
+# is a trusted constant — no attacker steers the speculation.
+.text
+main:
+    li   r1, 10
+    li   r2, 40
+    bgtz r1, chase
+    j    done
+chase:
+    andi r2, r2, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    lw   r3, 0(r16)
+    andi r9, r3, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r9
+    lw   r10, 0(r16)
+done:
+    halt

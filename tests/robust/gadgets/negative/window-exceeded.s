@@ -1,0 +1,34 @@
+# Known-negative at the default window: 18 filler instructions separate
+# the access from the transmitter, so with sew=16 the branch resolves
+# before the transmitter could run speculatively.  (Flagged again when
+# analyzed with --sew 32.)
+.text
+main:
+    li   r1, 10
+    bgtz r4, gadget
+    j    done
+gadget:
+    andi r2, r4, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    lw   r3, 0(r16)            # access at distance 4
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    andi r9, r3, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r9
+    lw   r10, 0(r16)           # transmit at distance 22 > sew 16
+done:
+    halt

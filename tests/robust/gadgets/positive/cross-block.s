@@ -1,0 +1,20 @@
+# Known-positive: access and transmitter live in different blocks; the
+# window walk must follow the fallthrough edge to connect them.
+.text
+main:
+    li   r1, 3
+    bgtz r7, access
+    j    done
+access:
+    andi r2, r7, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    lw   r3, 0(r16)            # access
+    beqz r1, done
+transmit:
+    andi r9, r3, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r9
+    lw   r10, 0(r16)           # transmit, one block later
+done:
+    halt

@@ -1,0 +1,21 @@
+# Known-positive: the classic bounds-check-bypass shape.
+# r4 is attacker-controlled; the branch guards a load whose address
+# depends on r4, and a second load's address depends on the loaded value.
+.text
+main:
+    li   r1, 10
+    bgtz r4, gadget
+    j    done
+gadget:
+    andi r2, r4, 0xFC          # mask the untrusted index (aligned)
+    li   r16, 0x50000
+    add  r16, r16, r2
+    lw   r3, 0(r16)            # access: secret = table[untrusted]
+    andi r9, r3, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r9
+    lw   r10, 0(r16)           # transmit: table2[secret]
+done:
+    li   r16, 0x51000
+    sw   r10, 0(r16)
+    halt

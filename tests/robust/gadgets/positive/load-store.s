@@ -1,0 +1,18 @@
+# Known-positive: the transmitter is a store through a secret-derived
+# address (gadget-load-store finding kind).
+.text
+main:
+    li   r1, 7
+    bnez r5, gadget
+    j    done
+gadget:
+    andi r2, r5, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    lw   r3, 0(r16)            # access
+    andi r9, r3, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r9
+    sw   r1, 0(r16)            # transmit via store address
+done:
+    halt

@@ -1,0 +1,18 @@
+# Known-positive: taint survives register copies (software renaming) —
+# the untrusted value and the loaded secret both flow through movs
+# before reaching the dependent addresses.
+.text
+main:
+    mov  r8, r6                # rename the untrusted input
+    blez r8, done
+    andi r2, r8, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    lw   r3, 0(r16)            # access through the renamed index
+    mov  r11, r3               # rename the secret
+    andi r9, r11, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r9
+    lw   r10, 0(r16)           # transmit
+done:
+    halt

@@ -1,0 +1,258 @@
+"""Speculative-safety analysis: gadget corpus, taint, serde, safe scheme.
+
+The handcrafted corpus under ``tests/robust/gadgets/`` pins the analysis:
+every ``positive/*.s`` must flag, every ``negative/*.s`` must stay clean,
+and ``window-exceeded.s`` flips to positive once the window is widened.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.core import compile_variant
+from repro.isa import parse
+from repro.isa.instruction import make
+from repro.robust import check_equivalence, verify_program
+from repro.robust.spectre import (
+    FINDING_KINDS, SpectreConfig, SpectreFinding, SpectreHoistGuard,
+    TAINT_SECRET, TAINT_UNTRUSTED, analyze_program, taint_fixpoint,
+)
+
+GADGETS = Path(__file__).parent / "gadgets"
+POSITIVES = sorted((GADGETS / "positive").glob("*.s"))
+NEGATIVES = sorted((GADGETS / "negative").glob("*.s"))
+
+
+def _load(path):
+    return parse(path.read_text(), name=path.stem)
+
+
+def test_corpus_is_present():
+    assert len(POSITIVES) >= 4
+    assert len(NEGATIVES) >= 3
+
+
+@pytest.mark.parametrize("path", POSITIVES, ids=lambda p: p.stem)
+def test_known_positives_flag(path):
+    findings = analyze_program(_load(path))
+    assert findings, f"{path.stem} should contain a gadget"
+    for f in findings:
+        assert f.kind in FINDING_KINDS
+        assert f.distance <= f.sew
+        assert f.tainted_condition
+
+
+@pytest.mark.parametrize("path", NEGATIVES, ids=lambda p: p.stem)
+def test_known_negatives_stay_clean(path):
+    assert analyze_program(_load(path)) == []
+
+
+def test_store_transmitter_classified_as_load_store():
+    prog = _load(GADGETS / "positive" / "load-store.s")
+    kinds = {f.kind for f in analyze_program(prog)}
+    assert "gadget-load-store" in kinds
+
+
+def test_window_exceeded_flags_with_wider_sew():
+    prog = _load(GADGETS / "negative" / "window-exceeded.s")
+    assert analyze_program(prog, SpectreConfig(sew=16)) == []
+    wide = analyze_program(prog, SpectreConfig(sew=32))
+    assert wide and all(f.distance <= 32 for f in wide)
+
+
+def test_sew_truncation_is_monotone():
+    # Shrinking the window can only drop findings, never add them.
+    prog = _load(GADGETS / "positive" / "load-load.s")
+    by_sew = {s: analyze_program(prog, SpectreConfig(sew=s))
+              for s in (2, 8, 16, 64)}
+    keys = {s: {(f.branch_uid, f.transmit_uid) for f in fs}
+            for s, fs in by_sew.items()}
+    assert keys[2] <= keys[8] <= keys[16] <= keys[64]
+    assert keys[16]  # the gadget fits the default window
+
+
+def test_taint_survives_renaming():
+    # movs between access and transmit (positive/renamed.s) must not
+    # launder the secret.
+    findings = analyze_program(_load(GADGETS / "positive" / "renamed.s"))
+    assert findings
+    assert all(f.kind == "gadget-load-load" for f in findings)
+
+
+def test_taint_fixpoint_levels():
+    prog = _load(GADGETS / "positive" / "load-load.s")
+    cfg = build_cfg(prog)
+    state = taint_fixpoint(cfg, SpectreConfig())
+    entry = state[cfg.entry.bid]
+    assert all(entry[r] == TAINT_UNTRUSTED for r in ("r4", "r5", "r6", "r7"))
+    # Some block downstream of the first load sees a level-2 secret.
+    assert any(TAINT_SECRET in taints.values() for taints in state.values())
+
+
+def test_untrusted_set_is_configurable():
+    prog = _load(GADGETS / "positive" / "load-load.s")
+    # With no untrusted inputs at all there is nothing to find.
+    assert analyze_program(prog, SpectreConfig(untrusted=("r20",))) == []
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SpectreConfig(mode="warn")
+    with pytest.raises(ValueError):
+        SpectreConfig(sew=0)
+
+
+def test_stock_workloads_are_clean():
+    from repro.workloads import benchmark_programs
+
+    for name, prog in benchmark_programs(scale=0.1).items():
+        assert analyze_program(prog) == [], f"{name} flagged unexpectedly"
+
+
+def test_finding_serde_round_trip():
+    prog = _load(GADGETS / "positive" / "load-load.s")
+    f = analyze_program(prog)[0]
+    d = f.to_dict()
+    assert d["kind"] == f.kind
+    back = SpectreFinding.from_dict(d)
+    assert back == f
+
+
+def test_finding_serde_rejects_stale_schema():
+    from repro.core.serde import SchemaMismatch
+
+    prog = _load(GADGETS / "positive" / "load-load.s")
+    d = analyze_program(prog)[0].to_dict()
+    d["schema_version"] = 1
+    with pytest.raises(SchemaMismatch):
+        SpectreFinding.from_dict(d)
+
+
+# -- hoist guard and the safe-speculative scheme ------------------------------
+
+
+def _guard_fixture():
+    # Entry branches on untrusted r4; the then-arm loads through an
+    # r4-derived address — the access the guard must not let float up.
+    src = """.text
+main:
+    andi r2, r4, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    bgtz r4, then_l
+    j    done
+then_l:
+    lw   r3, 0(r16)
+done:
+    halt
+"""
+    cfg = build_cfg(parse(src, name="guard-fixture"))
+    return cfg, cfg.entry.bid
+
+
+def test_hoist_guard_fence_and_suppress_modes():
+    cfg, bid = _guard_fixture()
+    tainted_load = make("lw", "r3", 0, "r16")
+    for mode, verdict in (("fence", "fence"), ("suppress", "suppress")):
+        guard = SpectreHoistGuard(SpectreConfig(mode=mode))
+        assert guard(cfg, bid, tainted_load) == verdict
+        assert guard.flagged == 1
+
+
+def test_hoist_guard_allows_safe_hoists():
+    cfg, bid = _guard_fixture()
+    guard = SpectreHoistGuard(SpectreConfig())
+    # Non-load, and load through a clean address: both fine.
+    assert guard(cfg, bid, make("add", "r9", "r1", "r2")) == "allow"
+    clean = build_cfg(parse(
+        ".text\nmain:\n    li r16, 0x50000\n    bgtz r1, t\n    j d\n"
+        "t:\n    lw r3, 0(r16)\nd:\n    halt\n", name="clean"))
+    assert guard(clean, clean.entry.bid,
+                 make("lw", "r3", 0, "r16")) == "allow"
+
+
+# A hot gadget: the branch condition mixes the loop counter with
+# untrusted r4 (taint) and sends 3/4 of iterations through the
+# double-load arm — biased and mispredicted enough for the region
+# scheduler's profitability gate, so the plain speculative scheme
+# really does hoist the tainted load.
+GADGET_LOOP = """.text
+main:
+    li   r17, 0
+    li   r18, 32
+loop:
+    andi r2, r4, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    andi r22, r17, 3
+    add  r22, r22, r4
+    bgtz r22, then_l
+    j    join
+then_l:
+    lw   r3, 0(r16)
+    andi r9, r3, 0xFC
+    li   r23, 0x50000
+    add  r23, r23, r9
+    lw   r10, 0(r23)
+    add  r1, r1, r10
+join:
+    addi r17, r17, 1
+    sub  r24, r17, r18
+    bltz r24, loop
+    li   r20, 0x50100
+    sw   r1, 0(r20)
+    halt
+"""
+
+
+def test_plain_speculation_does_hoist_the_gadget_load():
+    # Sanity for the pair below: without the guard the flagged hoist
+    # happens (that is the exposure the safe scheme exists to close).
+    prog = parse(GADGET_LOOP, name="gadget-loop")
+    res = compile_variant(prog, ifconvert=False)
+    assert res.region_report.speculated > 0
+    assert res.region_report.fenced == res.region_report.suppressed == 0
+
+
+def test_safe_speculative_fences_flagged_hoists_and_stays_equivalent():
+    prog = parse(GADGET_LOOP, name="gadget-loop")
+    res = compile_variant(prog, spectre=True, ifconvert=False)
+    assert res.fallback is None
+    assert res.region_report.fenced > 0
+    assert [i.op for i in res.program.instructions].count("fence") \
+        == res.region_report.fenced
+    assert not verify_program(res.program)
+    assert check_equivalence(prog, res.program).equivalent
+
+
+def test_safe_speculative_suppress_mode_stays_equivalent():
+    from dataclasses import replace
+
+    from repro.core.heuristics import DEFAULT_HEURISTICS
+
+    prog = parse(GADGET_LOOP, name="gadget-loop")
+    heur = replace(DEFAULT_HEURISTICS, spectre_fence=False)
+    res = compile_variant(prog, spectre=True, ifconvert=False, heur=heur)
+    assert res.fallback is None
+    assert res.region_report.suppressed > 0
+    assert "fence" not in [i.op for i in res.program.instructions]
+    assert check_equivalence(prog, res.program).equivalent
+
+
+def test_safe_speculative_certifies_on_generated_gadget_programs():
+    from repro.isa.randprog import RandProgConfig, random_program
+
+    cfg = RandProgConfig(untrusted_inputs=True, gadget_density=0.8,
+                         num_blocks=4, with_memory=True)
+    flagged = 0
+    for seed in range(4):
+        from dataclasses import replace as _rep
+
+        prog = random_program(cfg=_rep(cfg, seed=seed))
+        flagged += bool(analyze_program(prog))
+        res = compile_variant(prog, spectre=True)
+        assert res.fallback is None
+        assert check_equivalence(prog, res.program).equivalent, \
+            f"seed {seed} diverged"
+    assert flagged >= 1  # the generator does seed real gadgets

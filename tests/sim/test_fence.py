@@ -1,0 +1,113 @@
+"""Fence semantics and unknown-opcode rejection in both simulators."""
+
+import pytest
+
+from repro.isa import parse
+from repro.isa.instruction import make
+from repro.sim import (
+    FunctionalSim, TimingSim, UnmodeledOpcode, r10k_config, simulate,
+)
+
+
+def _run_functional(src):
+    sim = FunctionalSim(parse(".text\n" + src))
+    sim.run()
+    return sim
+
+
+def test_fence_is_architecturally_transparent():
+    # Same registers and memory with and without the barrier.
+    body = ("li r1, 7\nli r16, 0x50000\nsw r1, 0(r16)\n"
+            "{fence}lw r2, 0(r16)\nadd r3, r1, r2\nhalt\n")
+    plain = _run_functional(body.format(fence=""))
+    fenced = _run_functional(body.format(fence="fence\n"))
+    assert fenced.regs["r3"] == plain.regs["r3"] == 14
+    assert fenced.stats.fences == 1
+    assert plain.stats.fences == 0
+    # The fence is one extra dynamic instruction, nothing else.
+    assert fenced.stats.steps == plain.stats.steps + 1
+
+
+def test_fence_stalls_the_timing_pipeline():
+    body = "\n".join(f"add r{3 + (i % 6)}, r1, r2" for i in range(8))
+    src = f"li r1, 1\nli r2, 2\n{body}\n{{fence}}{body}\nhalt\n"
+    cfg = r10k_config("perfect")
+    plain = simulate(parse(".text\n" + src.format(fence="")), cfg)
+    fenced = simulate(parse(".text\n" + src.format(fence="fence\n")), cfg)
+    assert fenced.fence_events == 1
+    assert fenced.fence_stall_cycles > 0
+    assert plain.fence_events == 0
+    # Draining the window + the configured penalty costs cycles.
+    assert fenced.cycles > plain.cycles
+
+
+def test_fence_stall_cost_scales_with_config():
+    src = ("li r1, 1\nli r2, 2\n"
+           + "\n".join(f"add r{3 + (i % 6)}, r1, r2" for i in range(8))
+           + "\nfence\nadd r3, r1, r2\nhalt\n")
+    prog = parse(".text\n" + src)
+    cheap = simulate(prog, r10k_config("perfect", fence_stall=0))
+    costly = simulate(prog, r10k_config("perfect", fence_stall=12))
+    assert costly.cycles > cheap.cycles
+    assert costly.fence_stall_cycles > cheap.fence_stall_cycles
+
+
+def test_functional_sim_rejects_unknown_opcode():
+    prog = parse(".text\nli r1, 1\nadd r2, r1, r1\nhalt\n")
+    prog.instructions[1].op = "__undocumented_op__"  # buggy in-place pass
+    sim = FunctionalSim(prog)
+    with pytest.raises(UnmodeledOpcode, match="__undocumented_op__"):
+        sim.run()
+
+
+def test_timing_sim_rejects_unknown_unit_none_opcode():
+    from repro.sim.functional import TraceEntry
+
+    prog = parse(".text\nli r1, 1\nnop\nhalt\n")
+    prog.instructions[1].op = "__undocumented_op__"
+    tsim = TimingSim(r10k_config("perfect"))
+    trace = [TraceEntry(ins, idx)
+             for idx, ins in enumerate(prog.instructions)]
+    with pytest.raises(UnmodeledOpcode):
+        # The functional sim would already refuse; drive the timing model
+        # directly to prove it refuses independently.
+        tsim.run(iter(trace))
+
+
+def test_fence_survives_dce_and_pins_schedule():
+    # The fence has no dest and is not a nop: DCE must keep it, and the
+    # local scheduler must not move memory ops across it.
+    from repro.cfg.graph import build_cfg
+    from repro.sched.ddg import build_ddg
+    from repro.transform.dce import eliminate_dead_code
+
+    prog = parse(".text\nli r16, 0x50000\nlw r1, 0(r16)\nfence\n"
+                 "lw r2, 4(r16)\nhalt\n")
+    cfg = build_cfg(prog)
+    eliminate_dead_code(cfg)
+    ops = [i.op for i in cfg.to_program().instructions]
+    assert "fence" in ops
+
+    block = cfg.entry
+    ddg = build_ddg(block.instructions)
+    fence_idx = next(i for i, ins in enumerate(block.instructions)
+                     if ins.op == "fence")
+
+    def reaches(src, dst):
+        seen, stack = set(), [src]
+        while stack:
+            i = stack.pop()
+            if i == dst:
+                return True
+            if i in seen:
+                continue
+            seen.add(i)
+            stack.extend(e.dst for e in ddg.successors(i))
+        return False
+
+    # Every earlier instruction is ordered before the fence, and the
+    # fence is ordered before every later one.
+    for j in range(fence_idx):
+        assert reaches(j, fence_idx)
+    for j in range(fence_idx + 1, len(block.instructions)):
+        assert reaches(fence_idx, j)

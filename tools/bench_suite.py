@@ -21,7 +21,13 @@ A fourth phase measures **observability overhead**: the same pipeline
 trace replayed through :class:`~repro.sim.pipeline.TimingSim` with
 observability disabled (twice — the A/A delta bounds timer noise) and
 enabled; the disabled overhead must stay under 5 %.  Written separately
-to ``BENCH_obs.json``.  Run from the repository root::
+to ``BENCH_obs.json``.
+
+A fifth phase measures the **speculative-safety pass**: wall-clock of the
+Spectre-gadget analysis over the stock workloads (min-of-9 with the same
+A/A noise gate) plus the ``safe-speculative`` scheme's IPC delta, code
+growth, and fence counts vs plain ``Proposed``.  Written to
+``BENCH_spectre.json``.  Run from the repository root::
 
     python tools/bench_suite.py [--scale 0.1] [--jobs 4] [--out FILE]
 """
@@ -137,6 +143,155 @@ def bench_obs_overhead(scale: float, max_steps: int, repeats: int = 9,
     return record
 
 
+# Synthetic gadget workload for bench_spectre: the branch condition mixes
+# the loop counter with untrusted r4 (tainted) and takes the double-load
+# arm 3/4 of the time — hot and mispredicted enough that the region
+# scheduler hoists the tainted load, which the safe scheme must fence.
+_GADGET_LOOP = """.text
+main:
+    li   r17, 0
+    li   r18, 64
+loop:
+    andi r2, r4, 0xFC
+    li   r16, 0x50000
+    add  r16, r16, r2
+    andi r22, r17, 3
+    add  r22, r22, r4
+    bgtz r22, then_l
+    j    join
+then_l:
+    lw   r3, 0(r16)
+    andi r9, r3, 0xFC
+    li   r23, 0x50000
+    add  r23, r23, r9
+    lw   r10, 0(r23)
+    add  r1, r1, r10
+join:
+    addi r17, r17, 1
+    sub  r24, r17, r18
+    bltz r24, loop
+    li   r20, 0x50100
+    sw   r1, 0(r20)
+    halt
+"""
+
+
+def bench_spectre(scale: float, max_steps: int, repeats: int = 9,
+                  out: str = "BENCH_spectre.json") -> dict:
+    """Measure the speculative-safety pass: analysis cost and safety cost.
+
+    Two questions, answered over the stock workloads at *scale*:
+
+    * **analysis overhead** — wall-clock of ``analyze_program`` per
+      workload, min-of-``repeats`` with an A/A re-measure so the delta
+      bounds timer noise (same estimator as :func:`bench_obs_overhead`);
+      stock workloads must report **zero findings**;
+    * **safety cost** — the ``safe-speculative`` scheme vs plain
+      ``Proposed``: IPC delta, static code growth, and fences planted,
+      from one deterministic compile+simulate per scheme (simulation is
+      cycle-exact, so no repeat sampling is needed there).
+    """
+    from dataclasses import replace
+
+    from repro.core import compile_proposed
+    from repro.core.heuristics import DEFAULT_HEURISTICS
+    from repro.robust.spectre import analyze_program
+    from repro.sim import r10k_config, simulate
+    from repro.workloads import benchmark_programs
+
+    programs = benchmark_programs(scale)
+    config = r10k_config("twobit")
+    safe_heur = replace(DEFAULT_HEURISTICS, spectre_safe=True)
+
+    def _best_analysis() -> float:
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for prog in programs.values():
+                analyze_program(prog)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    analysis = _best_analysis()
+    analysis_again = _best_analysis()
+
+    workloads: dict[str, dict] = {}
+    for name, prog in programs.items():
+        findings = analyze_program(prog)
+        prop = compile_proposed(prog, max_steps=max_steps)
+        safe = compile_proposed(prog, heur=safe_heur, max_steps=max_steps)
+        prop_ipc = simulate(prop.program, config).ipc
+        safe_ipc = simulate(safe.program, config).ipc
+        rr = safe.region_report
+        workloads[name] = {
+            "findings": len(findings),
+            "ipc_proposed": round(prop_ipc, 4),
+            "ipc_safe": round(safe_ipc, 4),
+            "ipc_delta_pct": round(
+                100.0 * (safe_ipc - prop_ipc) / prop_ipc, 2)
+            if prop_ipc else 0.0,
+            "code_growth_pct": round(
+                100.0 * (len(safe.program) - len(prop.program))
+                / len(prop.program), 2) if len(prop.program) else 0.0,
+            "fences": rr.fenced if rr else 0,
+            "suppressed": rr.suppressed if rr else 0,
+        }
+
+    # One synthetic gadget-bearing workload so the record also shows the
+    # non-trivial cost: a hot, tainted double-load arm the plain scheme
+    # speculates on and the safe scheme must fence.
+    from repro.core import compile_variant
+    from repro.isa import parse
+
+    gadget = parse(_GADGET_LOOP, name="gadget-loop")
+    g_findings = analyze_program(gadget)
+    g_prop = compile_variant(gadget, ifconvert=False)
+    g_safe = compile_variant(gadget, ifconvert=False, spectre=True)
+    g_prop_ipc = simulate(g_prop.program, config).ipc
+    g_safe_ipc = simulate(g_safe.program, config).ipc
+    g_rr = g_safe.region_report
+    synthetic = {
+        "findings": len(g_findings),
+        "ipc_proposed": round(g_prop_ipc, 4),
+        "ipc_safe": round(g_safe_ipc, 4),
+        "ipc_delta_pct": round(
+            100.0 * (g_safe_ipc - g_prop_ipc) / g_prop_ipc, 2)
+        if g_prop_ipc else 0.0,
+        "code_growth_pct": round(
+            100.0 * (len(g_safe.program) - len(g_prop.program))
+            / len(g_prop.program), 2) if len(g_prop.program) else 0.0,
+        "fences": g_rr.fenced if g_rr else 0,
+        "suppressed": g_rr.suppressed if g_rr else 0,
+    }
+
+    def _pct(new: float, base: float) -> float:
+        return round(100.0 * (new - base) / base, 2) if base else 0.0
+
+    record = {
+        "bench": "spectre",
+        "synthetic_gadget": synthetic,
+        "scale": scale,
+        "repeats": repeats,
+        "analysis_seconds": round(analysis, 4),
+        "analysis_seconds_again": round(analysis_again, 4),
+        # A/A delta: the same analysis measured against itself (noise).
+        "noise_pct": _pct(analysis_again, analysis),
+        "gate_noise_lt_5pct": abs(_pct(analysis_again, analysis)) < 5.0,
+        "stock_findings_total": sum(w["findings"]
+                                    for w in workloads.values()),
+        "gate_stock_clean": all(w["findings"] == 0
+                                for w in workloads.values()),
+        "workloads": workloads,
+    }
+    Path(out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    deltas = ", ".join(f"{n}={w['ipc_delta_pct']}%"
+                       for n, w in workloads.items())
+    print(f"spectre: analysis={record['analysis_seconds']}s "
+          f"A/A noise={record['noise_pct']}% safe-vs-proposed IPC "
+          f"[{deltas}] -> {out}", file=sys.stderr)
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     """Time the three phases and write the JSON record."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -153,6 +308,11 @@ def main(argv: list[str] | None = None) -> int:
                          "(default BENCH_obs.json)")
     ap.add_argument("--skip-obs", action="store_true",
                     help="skip the observability-overhead phase")
+    ap.add_argument("--spectre-out", default="BENCH_spectre.json",
+                    help="speculative-safety output path "
+                         "(default BENCH_spectre.json)")
+    ap.add_argument("--skip-spectre", action="store_true",
+                    help="skip the speculative-safety phase")
     args = ap.parse_args(argv)
 
     phases: dict[str, dict] = {}
@@ -198,6 +358,18 @@ def main(argv: list[str] | None = None) -> int:
                                  out=args.obs_out)
         if not obs["gate_disabled_lt_5pct"]:
             print("WARNING: disabled-observability overhead exceeded 5%",
+                  file=sys.stderr)
+            rc = 1
+    if not args.skip_spectre:
+        print(f"spectre (scale={args.scale}) ...", file=sys.stderr)
+        spec = bench_spectre(args.scale, args.max_steps,
+                             out=args.spectre_out)
+        if not spec["gate_stock_clean"]:
+            print("WARNING: spectre analysis flagged a stock workload",
+                  file=sys.stderr)
+            rc = 1
+        if not spec["gate_noise_lt_5pct"]:
+            print("WARNING: spectre analysis A/A noise exceeded 5%",
                   file=sys.stderr)
             rc = 1
     if not record["cold_gt_warm"]:
