@@ -18,6 +18,11 @@ Usage::
         runs = s.run_suite(scale=0.3)
         campaign = s.fuzz(budget=50, seed=0)
 
+A session can also point at a running evaluation service
+(``repro serve``) instead of the local pool — ``Session(remote="http://
+host:8732", tenant="alice")`` routes ``run_suite`` / ``sweep`` /
+``fuzz`` through :mod:`repro.serve` with byte-identical results.
+
 Entering the session installs the JSONL tracer (when ``trace_path`` is
 set) and enables the metrics registry (when ``metrics=True``); exiting
 restores both, so observability state never leaks across sessions.  The
@@ -56,7 +61,9 @@ class Session:
                  strict: bool = False,
                  timeout: Optional[float] = None,
                  trace_path: Optional[Union[str, Path]] = None,
-                 metrics: bool = False):
+                 metrics: bool = False,
+                 remote: Optional[str] = None,
+                 tenant: str = "default"):
         self.heur = heur
         self.config_overrides = dict(config_overrides or {})
         self.cache = coerce_cache(cache)
@@ -66,7 +73,21 @@ class Session:
         self.timeout = timeout
         self.trace_path = trace_path
         self.metrics = metrics
+        self.remote = remote
+        self.tenant = tenant
         self._tracer: Optional[_trace.Tracer] = None
+        self._client = None
+
+    @property
+    def client(self):
+        """The session's :class:`~repro.serve.ServeClient` (remote only)."""
+        if self.remote is None:
+            return None
+        if self._client is None:
+            from .serve import ServeClient
+
+            self._client = ServeClient(self.remote, tenant=self.tenant)
+        return self._client
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -117,7 +138,22 @@ class Session:
                   seed: Optional[int] = None,
                   max_steps: Optional[int] = None,
                   strict: Optional[bool] = None):
-        """Run the full suite through the session's cache and pool."""
+        """Run the full suite through the session's cache and pool.
+
+        With ``remote=`` set, the suite routes through the evaluation
+        service instead (byte-identical results; see
+        :func:`repro.serve.client.remote_run_suite`).
+        """
+        if self.remote is not None:
+            from .serve.client import remote_run_suite
+
+            return remote_run_suite(
+                self.client, scale=scale, heur=self.heur,
+                benchmarks=benchmarks,
+                config_overrides=self.config_overrides or None,
+                progress=progress,
+                max_steps=self.max_steps if max_steps is None else max_steps,
+                timeout=self.timeout, seed=seed)
         from .engine import suite as _suite
 
         return _suite.run_suite(
@@ -131,7 +167,16 @@ class Session:
 
     def sweep(self, spec, *,
               progress: Optional[Callable[[str], None]] = None):
-        """Evaluate a :class:`~repro.engine.sweep.SweepSpec` grid."""
+        """Evaluate a :class:`~repro.engine.sweep.SweepSpec` grid.
+
+        With ``remote=`` set, every point's suite rides the service
+        queue (overlapping points and tenants share executions).
+        """
+        if self.remote is not None:
+            from .serve.client import remote_run_sweep
+
+            return remote_run_sweep(self.client, spec, progress=progress,
+                                    timeout=self.timeout)
         from .engine import sweep as _sweep
 
         fn = resolve_impl(_sweep.run_sweep)
@@ -152,8 +197,13 @@ class Session:
             kw.setdefault("jobs", self.jobs)
             kw.setdefault("cache", self.cache)
             cfg = _campaign.CampaignConfig(**kw)
+        executor = None
+        if self.remote is not None:
+            from .serve.client import remote_fuzz_executor
+
+            executor = remote_fuzz_executor(self.client)
         fn = resolve_impl(_campaign.run_campaign)
-        return fn(cfg, progress=progress)
+        return fn(cfg, progress=progress, executor=executor)
 
     def spectre(self, prog, *, sew: Optional[int] = None,
                 untrusted: Optional[tuple] = None):
@@ -182,6 +232,8 @@ class Session:
         return self.cache.stats() if self.cache is not None else None
 
     def __repr__(self) -> str:
-        return (f"Session(jobs={self.jobs}, "
+        where = (f"remote={self.remote!r}, tenant={self.tenant!r}"
+                 if self.remote is not None else f"jobs={self.jobs}")
+        return (f"Session({where}, "
                 f"cache={'on' if self.cache else 'off'}, "
                 f"trace={self.trace_path!r}, metrics={self.metrics})")

@@ -19,6 +19,14 @@ Eviction is size-capped LRU: whenever a put pushes the store above
 ``max_bytes`` (default 256 MB, override ``REPRO_CACHE_MAX_MB``), the
 oldest entries by access time are deleted until the store fits.  Reads
 refresh an entry's timestamp, so hot cells survive.
+
+The store is safe under concurrent multi-process mutation (the
+:mod:`repro.serve` worker fleet shares one on-disk root): every
+``ENOENT`` raced against another process's eviction or clear — during a
+read, a size scan, or the LRU sort — is treated as *already evicted* and
+becomes a miss or a skipped accounting row, never an exception.
+``tests/engine/test_cache_concurrent.py`` hammers one store from
+multiple processes to hold this invariant.
 """
 
 from __future__ import annotations
@@ -172,16 +180,18 @@ class ArtifactCache:
         """
         files = self._entry_files()
         sizes: dict[Path, int] = {}
+        ages: dict[Path, float] = {}
         for p in files:
             try:
-                sizes[p] = p.stat().st_size
-            except OSError:
-                pass
+                st = p.stat()
+            except OSError:  # deleted by a concurrent process: already
+                continue     # evicted, nothing left to account for
+            sizes[p] = st.st_size
+            ages[p] = st.st_mtime
         total = sum(sizes.values())
         if total <= self.max_bytes:
             return
-        by_age = sorted(sizes, key=lambda p: p.stat().st_mtime
-                        if p.exists() else 0.0)
+        by_age = sorted(sizes, key=lambda p: ages[p])
         for p in by_age:
             if total <= self.max_bytes:
                 break

@@ -11,8 +11,11 @@ process of :mod:`repro.engine.pool`.
 Containment semantics mirror the serial runner exactly (PR 1): a cell
 that raises is retried once, then reported as a ``failure`` record the
 tables render as ``FAIL(<reason>)``.  When ``timeout`` is set, each
-attempt is additionally bounded by a ``SIGALRM`` watchdog (POSIX main
-thread only), and a fired watchdog is just another contained failure.
+attempt is additionally bounded by a :class:`_watchdog` timer that
+raises :class:`CellTimeout` inside the executing thread — it works in
+*any* thread (the service workers of :mod:`repro.serve` run cells on
+threads, where the former ``SIGALRM`` scheme was a silent no-op), and a
+fired watchdog is just another contained failure.
 
 :data:`COUNTERS` counts every *actual* compile and simulation performed
 in this process — the engine's warm-cache acceptance test asserts these
@@ -21,10 +24,11 @@ stay at zero when every cell hits the artifact cache.
 
 from __future__ import annotations
 
-import signal
+import ctypes
+import threading
 import traceback
 from dataclasses import dataclass, replace
-from typing import Any, Optional
+from typing import Optional
 
 from ..core import serde
 from ..core.heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
@@ -145,37 +149,76 @@ def _failure_payload(benchmark: str, scheme: str,
          "failure": _short_reason(exc), "failure_detail": detail})
 
 
-class _alarm:
-    """Context manager arming a SIGALRM watchdog for one cell attempt.
+def _async_raise(thread_id: int, exc_type: type) -> bool:
+    """Schedule *exc_type* to be raised inside the thread *thread_id*.
 
-    A no-op when *seconds* is falsy or SIGALRM is unavailable (non-POSIX,
-    or not the main thread).  Timer granularity is whole seconds.
+    Uses ``PyThreadState_SetAsyncExc``: the exception surfaces at the
+    target thread's next bytecode boundary, which is exactly how the old
+    ``SIGALRM`` handler behaved for the main thread — except this works
+    for *any* Python thread.  Returns False when the interpreter refused
+    (unknown thread id, or a restricted runtime without ``ctypes``
+    access), in which case the attempt simply runs unbounded, matching
+    the previous no-op fallback semantics.
+    """
+    try:
+        n = ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(thread_id), ctypes.py_object(exc_type))
+    except (AttributeError, ValueError):
+        return False
+    if n > 1:  # somehow hit several states: undo rather than spray
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(thread_id), None)
+        return False
+    return n == 1
+
+
+class _watchdog:
+    """Context manager bounding one cell attempt in any thread.
+
+    Arms a :class:`threading.Timer` that raises :class:`CellTimeout`
+    inside the *executing* thread when the budget elapses.  Unlike the
+    former ``SIGALRM`` scheme this works off the main thread (service
+    workers, pool shims) and on non-POSIX hosts.  A no-op when *seconds*
+    is falsy.
+
+    Disarming takes a lock shared with the timer callback, so once
+    ``__exit__`` starts no late timeout can fire.  The one unavoidable
+    window — the callback scheduled the exception but the thread has not
+    reached a bytecode boundary yet — surfaces inside the caller's
+    containment ``try`` (``execute_cell`` retries the cell), never in
+    unrelated code.
     """
 
     def __init__(self, seconds: Optional[float]):
-        self.seconds = int(seconds) if seconds else 0
-        self.previous: Any = None
-        self.armed = False
+        self.seconds = float(seconds) if seconds else 0.0
+        self._timer: Optional[threading.Timer] = None
+        self._lock = threading.Lock()
+        self._armed = False
+        self.fired = False
 
-    def __enter__(self) -> "_alarm":
-        if not self.seconds or not hasattr(signal, "SIGALRM"):
+    def __enter__(self) -> "_watchdog":
+        if not self.seconds:
             return self
+        thread_id = threading.get_ident()
 
-        def _fire(signum, frame):
-            raise CellTimeout(f"cell exceeded {self.seconds}s budget")
+        def _fire() -> None:
+            with self._lock:
+                if not self._armed:
+                    return
+                self.fired = _async_raise(thread_id, CellTimeout)
 
-        try:
-            self.previous = signal.signal(signal.SIGALRM, _fire)
-        except ValueError:          # not in the main thread
-            return self
-        signal.alarm(self.seconds)
-        self.armed = True
+        self._armed = True
+        self._timer = threading.Timer(self.seconds, _fire)
+        self._timer.daemon = True
+        self._timer.start()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        if self.armed:
-            signal.alarm(0)
-            signal.signal(signal.SIGALRM, self.previous)
+        with self._lock:
+            self._armed = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
 
 def execute_cell(spec: CellSpec, program: Optional[Program] = None,
@@ -197,7 +240,7 @@ def execute_cell(spec: CellSpec, program: Optional[Program] = None,
         memo = compile_memo if compile_memo is not None else {}
         for _ in range(CELL_RETRIES + 1):
             try:
-                with _alarm(spec.timeout):
+                with _watchdog(spec.timeout):
                     prog = program if program is not None \
                         else Program.from_dict(spec.program)
                     if spec.kind not in memo:

@@ -1,0 +1,217 @@
+"""The worker fleet: threads that pull cells and push results.
+
+Each worker loops claim → execute → store → complete against one
+:class:`~repro.serve.queue.JobQueue` and one
+:class:`~repro.serve.store.TieredStore`.  Execution reuses the engine's
+containment unchanged — :func:`~repro.engine.cells.execute_cell` for
+evaluation cells (retry + the thread-portable watchdog timeout; workers
+are threads, which is exactly why the watchdog replaced ``SIGALRM``) and
+:func:`~repro.qa.cells.execute_fuzz_cell` for fuzz cells.  Both return
+failure payloads instead of raising, so a cell can only take a worker
+down through interpreter-level faults — and even then the dispatch loop
+catches the escape, requeues the cell for a live worker (bounded by
+:data:`~repro.serve.queue.MAX_CELL_ATTEMPTS`), and keeps serving.
+
+Results are written through to **every subscribing tenant's cache
+namespace** before completion: execution is deduplicated fleet-wide,
+but each tenant's artifact store stays isolated — the next identical
+submission from any of them replays from cache without queueing at all.
+
+Utilization accounting: each worker tracks busy nanoseconds against its
+lifetime; :meth:`WorkerFleet.stats` reports per-worker and fleet-level
+utilization for the ``/v1/stats`` endpoint and BENCH_serve.json.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Optional
+
+from ..core import serde
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span as obs_span
+from .queue import JobQueue
+from .store import Backend
+from . import protocol
+
+#: Seconds a worker blocks in claim() before re-checking its stop flag.
+CLAIM_POLL_S = 0.2
+
+
+def _failure_payload(kind: str, exc: BaseException) -> dict:
+    """A contained failure result for a cell whose execution escaped."""
+    detail = "".join(traceback.format_exception(
+        type(exc), exc, exc.__traceback__)[-4:])
+    reason = f"{type(exc).__name__}: {exc}"[:80]
+    if kind == "fuzz":
+        return {"schemes": {}, "divergent": [], "error": reason,
+                "error_detail": detail}
+    return serde.stamp({"benchmark": "?", "scheme": "?", "stats": None,
+                        "exec_stats": None, "compile_result": None,
+                        "failure": reason, "failure_detail": detail})
+
+
+def execute_payload(kind: str, spec: dict) -> dict:
+    """Execute one claimed cell of *kind*; returns its result payload.
+
+    ``"cells"`` decodes an evaluation :class:`CellSpec`; ``"fuzz"``
+    decodes a :class:`FuzzCellSpec`.  Both executors contain Python-level
+    failures themselves; decoding errors raise (the dispatch loop turns
+    them into failure payloads after the attempt budget).
+    """
+    if kind == "fuzz":
+        from ..qa.cells import FuzzCellSpec, execute_fuzz_cell
+
+        return execute_fuzz_cell(FuzzCellSpec(
+            strategy=spec["strategy"], seed=spec["seed"],
+            max_steps=spec["max_steps"]))
+    from ..engine.cells import execute_cell
+
+    return execute_cell(protocol.cellspec_from_payload(spec))
+
+
+class Worker:
+    """One fleet thread (see module docstring)."""
+
+    def __init__(self, name: str, queue: JobQueue, store: Backend,
+                 subscribers_of) -> None:
+        self.name = name
+        self.queue = queue
+        self.store = store
+        self._subscribers_of = subscribers_of
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, name=name,
+                                        daemon=True)
+        self.cells_executed = 0
+        self.busy_ns = 0
+        self.started_ns = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the worker thread."""
+        self.started_ns = time.monotonic_ns()
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the loop to exit and join it."""
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker thread is still running."""
+        return self._thread.is_alive()
+
+    # -- the loop ----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            claimed = self.queue.claim(timeout=CLAIM_POLL_S)
+            if claimed is None:
+                continue
+            key, kind, spec = claimed
+            t0 = time.monotonic_ns()
+            try:
+                with obs_span("serve.execute", worker=self.name,
+                              kind=kind, key=key[:12]):
+                    payload = execute_payload(kind, spec)
+            except BaseException as exc:  # noqa: BLE001 - fleet survival
+                REGISTRY.inc("serve.worker.escaped")
+                if not self.queue.requeue(key):
+                    # attempt budget exhausted: fail the cell for all
+                    # subscribers rather than spinning forever
+                    self._publish(key, kind, _failure_payload(kind, exc))
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                continue
+            finally:
+                self.busy_ns += time.monotonic_ns() - t0
+            self.cells_executed += 1
+            REGISTRY.inc("serve.worker.cells")
+            self._publish(key, kind, payload)
+
+    def _publish(self, key: str, kind: str, payload: dict) -> None:
+        """Write the result into every subscriber namespace, complete."""
+        for tenant in self._subscribers_of(key):
+            try:
+                self.store.put(tenant, key, payload)
+            except Exception:  # noqa: BLE001 - cache write must not kill
+                REGISTRY.inc("serve.worker.store_failures")
+        self.queue.complete(key, payload)
+
+    # -- reporting ---------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Busy fraction of this worker's lifetime (0.0 when unstarted)."""
+        if not self.started_ns:
+            return 0.0
+        alive_ns = time.monotonic_ns() - self.started_ns
+        return self.busy_ns / alive_ns if alive_ns else 0.0
+
+
+class WorkerFleet:
+    """A fixed-size set of :class:`Worker` threads over one queue."""
+
+    def __init__(self, queue: JobQueue, store: Backend, workers: int = 2):
+        if workers < 1:
+            raise ValueError("the fleet needs at least one worker")
+        self.queue = queue
+        self.store = store
+        self._subscriber_index: dict[str, list[str]] = {}
+        self._index_lock = threading.Lock()
+        self.workers = [
+            Worker(f"worker-{i}", queue, store, self.subscribers_of)
+            for i in range(workers)]
+
+    # -- subscriber index --------------------------------------------------
+    # The queue tracks jobs; the fleet only needs key -> tenant namespaces
+    # for the write-through.  The server registers subscriptions at
+    # submission time and the fleet drops them at completion.
+
+    def subscribe(self, key: str, tenant: str) -> None:
+        """Record that *tenant* wants the artifact of *key*."""
+        with self._index_lock:
+            tenants = self._subscriber_index.setdefault(key, [])
+            if tenant not in tenants:
+                tenants.append(tenant)
+
+    def subscribers_of(self, key: str) -> list[str]:
+        """Tenant namespaces awaiting *key* (cleared on completion)."""
+        with self._index_lock:
+            return list(self._subscriber_index.pop(key, []))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch every worker."""
+        for w in self.workers:
+            w.start()
+
+    def stop(self) -> None:
+        """Stop every worker (the queue is closed first by the server)."""
+        for w in self.workers:
+            w.stop()
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Fleet snapshot: per-worker and aggregate utilization."""
+        per_worker = {
+            w.name: {
+                "alive": w.alive,
+                "cells_executed": w.cells_executed,
+                "utilization": round(w.utilization(), 4),
+            } for w in self.workers}
+        executed = sum(w.cells_executed for w in self.workers)
+        return {
+            "workers": len(self.workers),
+            "alive": sum(1 for w in self.workers if w.alive),
+            "cells_executed": executed,
+            "utilization": round(
+                sum(w.utilization() for w in self.workers)
+                / len(self.workers), 4),
+            "per_worker": per_worker,
+        }

@@ -1,0 +1,114 @@
+"""Namespaced local store, remote backend, and the tiered composition."""
+
+import json
+
+import pytest
+
+from repro.engine.keys import SCHEMA_VERSION
+from repro.serve import (
+    LocalBackend, RemoteBackend, ServeClient, TieredStore, check_namespace,
+    namespace_stats,
+)
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+@pytest.mark.parametrize("bad", ["", "..", ".", "a/b", "x" * 65, "a b",
+                                 "../../etc"])
+def test_check_namespace_rejects_hostile_names(bad):
+    with pytest.raises(ValueError):
+        check_namespace(bad)
+
+
+def test_check_namespace_accepts_sane_names():
+    for name in ("default", "alice", "team-7", "a.b_c"):
+        assert check_namespace(name) == name
+
+
+def test_local_namespaces_are_isolated(tmp_path):
+    backend = LocalBackend(tmp_path)
+    backend.put("alice", KEY_A, {"who": "alice"})
+    backend.put("bob", KEY_A, {"who": "bob"})
+    assert backend.get("alice", KEY_A) == {"who": "alice"}
+    assert backend.get("bob", KEY_A) == {"who": "bob"}
+    assert backend.get("carol", KEY_A) is None
+
+
+def test_default_namespace_is_the_plain_root(tmp_path):
+    # A pre-service .repro-cache/ root keeps working verbatim as the
+    # "default" namespace.
+    backend = LocalBackend(tmp_path)
+    backend.put("default", KEY_A, {"x": 1})
+    shard = tmp_path / KEY_A[:2] / f"{KEY_A}.json"
+    assert shard.is_file()
+    assert backend.get("default", KEY_A) == {"x": 1}
+
+
+def test_stats_break_down_per_namespace(tmp_path):
+    backend = LocalBackend(tmp_path)
+    backend.put("alice", KEY_A, {"x": 1})
+    backend.put("alice", KEY_B, {"x": 2})
+    backend.put("bob", KEY_A, {"x": 3})
+    stats = backend.stats()
+    assert stats["namespaces"]["alice"]["entries"] == 2
+    assert stats["namespaces"]["bob"]["entries"] == 1
+    assert stats["entries"] == 3
+    assert stats["total_bytes"] > 0
+    # The module-level helper the CLI uses sees the same breakdown.
+    assert namespace_stats(tmp_path)["entries"] == 3
+
+
+def test_remote_backend_round_trip_against_live_server(server):
+    remote = RemoteBackend(server.url)
+    assert remote.get("alice", KEY_A) is None          # cold: miss
+    remote.put("alice", KEY_A, {"answer": 42})
+    assert remote.get("alice", KEY_A) == {"answer": 42}
+    assert remote.get("bob", KEY_A) is None            # isolation holds
+
+
+def test_remote_backend_all_failures_are_misses(tmp_path):
+    # Nothing listens on this port: network failure == miss, put == drop.
+    remote = RemoteBackend("http://127.0.0.1:9", timeout=0.2)
+    assert remote.get("alice", KEY_A) is None
+    remote.put("alice", KEY_A, {"x": 1})               # must not raise
+
+
+def test_remote_backend_rejects_wrong_schema(server):
+    # A peer serving a stale schema generation must read as a miss, not
+    # as a wrong-generation payload.
+    remote = RemoteBackend(server.url)
+    client = ServeClient(server.url)
+    status, _ = client._request(
+        "PUT", f"/v1/cache/alice/{KEY_A}",
+        {"schema": SCHEMA_VERSION + 1, "key": KEY_A, "payload": {}})
+    assert status == 400                               # server refuses it
+    assert remote.get("alice", KEY_A) is None
+
+
+def test_tiered_store_read_through_replicates_locally(tmp_path, server):
+    upstream = RemoteBackend(server.url)
+    upstream.put("alice", KEY_A, {"from": "upstream"})
+    local = LocalBackend(tmp_path)
+    store = TieredStore(local, upstream)
+    assert local.get("alice", KEY_A) is None
+    assert store.get("alice", KEY_A) == {"from": "upstream"}
+    # The hit was written through: now served locally.
+    assert local.get("alice", KEY_A) == {"from": "upstream"}
+
+
+def test_tiered_store_write_through_reaches_both(tmp_path, server):
+    upstream = RemoteBackend(server.url)
+    store = TieredStore(LocalBackend(tmp_path), upstream)
+    store.put("alice", KEY_B, {"v": 7})
+    assert store.local.get("alice", KEY_B) == {"v": 7}
+    assert upstream.get("alice", KEY_B) == {"v": 7}
+
+
+def test_corrupted_namespace_entry_reads_as_miss(tmp_path):
+    backend = LocalBackend(tmp_path)
+    backend.put("alice", KEY_A, {"x": 1})
+    path = backend.namespace_root("alice") / KEY_A[:2] / f"{KEY_A}.json"
+    path.write_text(json.dumps({"schema": -1, "key": KEY_A,
+                                "payload": {}}))
+    assert backend.get("alice", KEY_A) is None
