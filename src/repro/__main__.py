@@ -99,6 +99,7 @@ def _session_from(args: argparse.Namespace, *, cache=None,
                     else getattr(args, "trace", None)),
         remote=getattr(args, "remote", None),
         tenant=getattr(args, "tenant", "default"),
+        backend=getattr(args, "backend", None),
         **kw)
 
 
@@ -205,9 +206,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
             from .core.heuristics import DEFAULT_HEURISTICS
             from .workloads import benchmark_programs
 
+            from .fastsim.backend import resolve_backend
+
             grid = suite_cells(benchmark_programs(args.scale,
                                                   seed=args.seed),
-                               DEFAULT_HEURISTICS, None, args.max_steps)
+                               DEFAULT_HEURISTICS, None, args.max_steps,
+                               backend=resolve_backend(args.backend))
             job = client.submit_cells(
                 [(key, payload) for _, _, key, _, payload in grid])
             print(f"submitted {job['job_id']} ({job['n_cells']} cells, "
@@ -217,7 +221,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             return 0
         runs = remote_run_suite(
             client, scale=args.scale, seed=args.seed,
-            max_steps=args.max_steps,
+            max_steps=args.max_steps, backend=args.backend,
             progress=lambda msg: print(msg, file=sys.stderr))
     except (Backpressure, ServeError, OSError) as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
@@ -367,8 +371,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    from .fastsim.backend import resolve_backend
+
     prog = _load_program(args.program, args.scale)
-    db = ProfileDB.from_run(prog)
+    db = ProfileDB.from_run(prog, backend=resolve_backend(
+        getattr(args, "backend", None)))
     print(db.summary())
     return 0
 
@@ -480,9 +487,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         from .obs import PipelineObserver
 
         observer = PipelineObserver(sample_interval=args.sample)
-    fsim = FunctionalSim(prog, record_outcomes=False)
-    stats = TimingSim(r10k_config(args.predictor),
-                      observer=observer).run(fsim.trace())
+    from .fastsim.backend import resolve_backend
+
+    if resolve_backend(getattr(args, "backend", None)) == "fast" \
+            and observer is None:
+        from .fastsim.backend import simulate as fast_simulate
+
+        stats, _ = fast_simulate(prog, r10k_config(args.predictor))
+    else:
+        fsim = FunctionalSim(prog, record_outcomes=False)
+        stats = TimingSim(r10k_config(args.predictor),
+                          observer=observer).run(fsim.trace())
     print(f"program    : {prog.name}")
     print(f"predictor  : {args.predictor}")
     print(stats.summary())
@@ -554,6 +569,13 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--tenant", default="default", metavar="NAME",
                        help="tenant namespace on the remote service "
                             "(default 'default')")
+        p.add_argument("--backend", default=None,
+                       choices=["reference", "fast"],
+                       help="execution backend: 'fast' uses the "
+                            "decode-once generated-step simulators of "
+                            "repro.fastsim (byte-identical results; see "
+                            "docs/FASTSIM.md). Default: $REPRO_BACKEND "
+                            "or 'reference'")
 
     p = sub.add_parser("tables", help="regenerate Tables 1-4")
     p.add_argument("--scale", type=float, default=1.0,
@@ -624,6 +646,10 @@ def main(argv: list[str] | None = None) -> int:
                         "for results")
     p.add_argument("--json", metavar="FILE",
                    help="also write machine-readable results to FILE")
+    p.add_argument("--backend", default=None,
+                   choices=["reference", "fast"],
+                   help="execution backend for the submitted cells "
+                        "(default: $REPRO_BACKEND or 'reference')")
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
@@ -660,6 +686,10 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("profile", help="print a program's feedback metrics")
     p.add_argument("program", help="benchmark name or .s file")
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--backend", default=None,
+                   choices=["reference", "fast"],
+                   help="profiling-run execution backend "
+                        "(default: $REPRO_BACKEND or 'reference')")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compile", help="run the proposed pipeline")
@@ -776,6 +806,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--sample", type=int, default=0, metavar="N",
                    help="sample every N-th retired instruction and print "
                         "a per-basic-block heat report")
+    p.add_argument("--backend", default=None,
+                   choices=["reference", "fast"],
+                   help="execution backend (ignored with --sample; "
+                        "default: $REPRO_BACKEND or 'reference')")
     p.set_defaults(func=cmd_run)
 
     args = ap.parse_args(argv)

@@ -63,7 +63,10 @@ class Session:
                  trace_path: Optional[Union[str, Path]] = None,
                  metrics: bool = False,
                  remote: Optional[str] = None,
-                 tenant: str = "default"):
+                 tenant: str = "default",
+                 backend: Optional[str] = None):
+        from .fastsim.backend import resolve_backend
+
         self.heur = heur
         self.config_overrides = dict(config_overrides or {})
         self.cache = coerce_cache(cache)
@@ -75,6 +78,10 @@ class Session:
         self.metrics = metrics
         self.remote = remote
         self.tenant = tenant
+        #: Execution backend of every experiment this session runs:
+        #: "reference" or "fast" (repro.fastsim).  None at construction
+        #: defers to the REPRO_BACKEND environment variable.
+        self.backend = resolve_backend(backend)
         self._tracer: Optional[_trace.Tracer] = None
         self._client = None
 
@@ -126,11 +133,14 @@ class Session:
         from .eval import runner as _runner
 
         fn = resolve_impl(_runner.run_benchmark)
+        extra = {"backend": self.backend} \
+            if self.backend != "reference" else {}
         return fn(name, prog, heur=self.heur,
                   config_overrides=self.config_overrides or None,
                   max_steps=self.max_steps if max_steps is None
                   else max_steps,
-                  strict=self.strict if strict is None else strict)
+                  strict=self.strict if strict is None else strict,
+                  **extra)
 
     def run_suite(self, scale: float = 1.0, *,
                   benchmarks: Optional[dict] = None,
@@ -153,7 +163,7 @@ class Session:
                 config_overrides=self.config_overrides or None,
                 progress=progress,
                 max_steps=self.max_steps if max_steps is None else max_steps,
-                timeout=self.timeout, seed=seed)
+                timeout=self.timeout, seed=seed, backend=self.backend)
         from .engine import suite as _suite
 
         return _suite.run_suite(
@@ -163,7 +173,7 @@ class Session:
             max_steps=self.max_steps if max_steps is None else max_steps,
             strict=self.strict if strict is None else strict,
             jobs=self.jobs, cache=self.cache, timeout=self.timeout,
-            seed=seed)
+            seed=seed, backend=self.backend)
 
     def sweep(self, spec, *,
               progress: Optional[Callable[[str], None]] = None):
@@ -176,12 +186,15 @@ class Session:
             from .serve.client import remote_run_sweep
 
             return remote_run_sweep(self.client, spec, progress=progress,
-                                    timeout=self.timeout)
+                                    timeout=self.timeout,
+                                    backend=self.backend)
         from .engine import sweep as _sweep
 
         fn = resolve_impl(_sweep.run_sweep)
+        extra = {"backend": self.backend} \
+            if self.backend != "reference" else {}
         return fn(spec, jobs=self.jobs, cache=self.cache,
-                  progress=progress, timeout=self.timeout)
+                  progress=progress, timeout=self.timeout, **extra)
 
     def fuzz(self, cfg=None, *,
              progress: Optional[Callable[[str], None]] = None, **kw):

@@ -172,17 +172,21 @@ def compile_proposed(prog: Program,
                      model: MachineModel = DEFAULT_MODEL,
                      profile: Optional[ProfileDB] = None,
                      max_steps: int = 20_000_000,
-                     verify: bool = True) -> CompileResult:
+                     verify: bool = True,
+                     backend: str = "reference") -> CompileResult:
     """The paper's proposed scheme, end to end, with crash containment.
 
     Pass a pre-built *profile* to skip the profiling run (e.g. to reuse one
     run across ablation variants).  *verify* runs the IR verifier after
     every pass (rolling back passes that break an invariant); disable it
-    only for trusted perf-measurement loops.
+    only for trusted perf-measurement loops.  *backend* selects the
+    execution backend of the profiling run (``"fast"`` uses the
+    :mod:`repro.fastsim` generated-step executor; the profile — and
+    therefore the compile output — is byte-identical either way).
     """
     with obs_span("compile.proposed", program=prog.name) as sp:
         result = _compile_proposed_inner(prog, heur, model, profile,
-                                         max_steps, verify)
+                                         max_steps, verify, backend)
         sp.set("fallback", result.fallback)
         sp.set("failures", len(result.failures))
     if REGISTRY.enabled:
@@ -206,7 +210,8 @@ def compile_proposed(prog: Program,
 def _compile_proposed_inner(prog: Program, heur: FeedbackHeuristics,
                             model: MachineModel,
                             profile: Optional[ProfileDB],
-                            max_steps: int, verify: bool) -> CompileResult:
+                            max_steps: int, verify: bool,
+                            backend: str = "reference") -> CompileResult:
     result = CompileResult(program=prog)
 
     # 0. Profiling run.  Without feedback there is nothing to propose:
@@ -215,7 +220,8 @@ def _compile_proposed_inner(prog: Program, heur: FeedbackHeuristics,
         try:
             with obs_span("pass.profile", program=prog.name):
                 profile = ProfileDB.from_run(prog, max_steps=max_steps,
-                                             config=heur.classify)
+                                             config=heur.classify,
+                                             backend=backend)
         except Exception as exc:  # noqa: BLE001
             result.failures.append(PassFailure(
                 stage="profile", kind="exception",

@@ -25,7 +25,9 @@ from typing import Any, Sequence
 #: ``repro.engine.keys.SCHEMA_VERSION`` with it so cached payloads roll).
 #: v2: fence counters in ExecStats/SimStats, spectre fields in the
 #: compile-result region report, SpectreFinding payloads.
-SCHEMA_VERSION = 2
+#: v3: SchemeResult/BenchmarkRun payloads carry the execution backend
+#: that produced them (repro.fastsim; engine keys v4, serve protocol v2).
+SCHEMA_VERSION = 3
 
 #: The key carrying the version inside every payload.
 VERSION_KEY = "schema_version"

@@ -37,7 +37,10 @@ from ..sim.config import MachineConfig
 #: v2: result payloads carry a ``schema_version`` field (repro.core.serde).
 #: v3: fence/spectre counters in result payloads; spectre knobs on
 #: FeedbackHeuristics (serde v2).
-SCHEMA_VERSION = 3
+#: v4: cell keys carry the execution-backend identifier, so a result
+#: computed on one backend is never served to a request for the other
+#: (serde v3, serve protocol v2 — bumped in lockstep).
+SCHEMA_VERSION = 4
 
 
 def canonical(obj: Any) -> Any:
@@ -96,13 +99,18 @@ def program_digest(prog: Program) -> str:
 def cell_key(prog: Program, scheme: str, heur: FeedbackHeuristics,
              config: MachineConfig, max_steps: int,
              schema_version: int = SCHEMA_VERSION,
-             extra: Optional[dict] = None) -> str:
+             extra: Optional[dict] = None,
+             backend: str = "reference") -> str:
     """Cache key of one (program, scheme) evaluation cell.
 
     *config* is the fully resolved :class:`MachineConfig` (predictor and
     overrides applied), so any machine-parameter sweep point keys
     distinctly.  *extra* lets callers fold additional discriminators in
-    (it must be canonicalizable).
+    (it must be canonicalizable).  *backend* names the execution backend
+    (``"reference"`` or ``"fast"``); backends are required to produce
+    byte-identical payloads, but they key separately so a fastsim bug can
+    never poison reference results (and the conformance suite can hold
+    both results side by side in one cache).
     """
     return digest({
         "schema": schema_version,
@@ -112,4 +120,5 @@ def cell_key(prog: Program, scheme: str, heur: FeedbackHeuristics,
         "config": config,
         "max_steps": max_steps,
         "extra": extra,
+        "backend": backend,
     })

@@ -70,7 +70,8 @@ def run_suite(scale: float = 1.0,
               jobs: int = 1,
               cache: CacheLike = None,
               timeout: Optional[float] = None,
-              seed: Optional[int] = None):
+              seed: Optional[int] = None,
+              backend: Optional[str] = None):
     """Run the full suite through the cache and (optionally) the pool.
 
     Returns ``{benchmark: BenchmarkRun}`` in benchmark order, exactly like
@@ -78,20 +79,27 @@ def run_suite(scale: float = 1.0,
     processes; *cache* enables the artifact store (see
     :func:`coerce_cache`); *timeout* bounds each parallel cell attempt in
     seconds; *seed* re-seeds the synthetic workload generators (identical
-    inputs hash identically, so reruns hit the cache).
+    inputs hash identically, so reruns hit the cache).  *backend* selects
+    the execution backend (``"reference"`` or ``"fast"``); None defers to
+    the ``REPRO_BACKEND`` environment variable, then ``"reference"``.
+    Backends produce byte-identical payloads but key separately in the
+    artifact cache.
     """
     from ..eval import runner as _runner  # late: avoids an import cycle,
     # and keeps run_benchmark/monkeypatches resolvable at call time.
+    from ..fastsim.backend import resolve_backend
 
+    backend = resolve_backend(backend)
     with obs_span("suite.run", scale=scale, jobs=jobs,
-                  cached=cache is not None):
+                  cached=cache is not None, backend=backend):
         return _run_suite_inner(scale, heur, benchmarks, config_overrides,
                                 progress, max_steps, strict, jobs, cache,
-                                timeout, seed, _runner)
+                                timeout, seed, backend, _runner)
 
 
 def _run_suite_inner(scale, heur, benchmarks, config_overrides, progress,
-                     max_steps, strict, jobs, cache, timeout, seed, _runner):
+                     max_steps, strict, jobs, cache, timeout, seed, backend,
+                     _runner):
     """Body of :func:`run_suite` (split out so the span wraps it whole)."""
     store = coerce_cache(cache)
     if benchmarks is not None:
@@ -124,11 +132,12 @@ def _run_suite_inner(scale, heur, benchmarks, config_overrides, progress,
                     benchmark=name, scheme=scheme, kind=kind,
                     predictor=predictor, program=payload_d, heur=heur,
                     config_overrides=over_items, max_steps=max_steps,
-                    timeout=timeout, strict=strict)
+                    timeout=timeout, strict=strict, backend=backend)
                 key = None
                 if store is not None:
                     key = cell_key(prog, scheme, heur,
-                                   spec.resolve_config(), max_steps)
+                                   spec.resolve_config(), max_steps,
+                                   backend=backend)
                     cached = store.get(key)
                     if cached is not None:
                         hits[(name, scheme)] = \
@@ -146,7 +155,7 @@ def _run_suite_inner(scale, heur, benchmarks, config_overrides, progress,
         fresh = _parallel_misses(miss_specs, programs, jobs, strict)
     else:
         fresh = _serial_misses(_runner, miss_specs, programs, hits, heur,
-                               config_overrides, max_steps, strict)
+                               config_overrides, max_steps, strict, backend)
 
     for name in programs:
         if name in broken:
@@ -170,7 +179,8 @@ def _run_suite_inner(scale, heur, benchmarks, config_overrides, progress,
 
 
 def _serial_misses(_runner, miss_specs, programs, hits, heur,
-                   config_overrides, max_steps, strict):
+                   config_overrides, max_steps, strict,
+                   backend="reference"):
     """Recompute missing cells via the runner's serial per-benchmark path.
 
     A benchmark with *any* miss is recomputed whole through
@@ -183,6 +193,9 @@ def _serial_misses(_runner, miss_specs, programs, hits, heur,
     for spec in miss_specs:
         if spec.benchmark not in names:
             names.append(spec.benchmark)
+    # The backend kwarg is passed only when non-default, so monkeypatched
+    # run_benchmark replacements with the original signature keep working.
+    extra = {"backend": backend} if backend != "reference" else {}
     for name in names:
         # Attribute lookup keeps monkeypatched replacements (no shim
         # attribute) in play; resolve_impl skips the deprecation shim on
@@ -192,7 +205,7 @@ def _serial_misses(_runner, miss_specs, programs, hits, heur,
             run = fn(
                 name, programs[name], heur=heur,
                 config_overrides=config_overrides,
-                max_steps=max_steps, strict=strict)
+                max_steps=max_steps, strict=strict, **extra)
         except Exception as exc:  # noqa: BLE001 - construction failure
             if strict:
                 raise

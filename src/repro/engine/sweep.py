@@ -123,7 +123,8 @@ def _cell_record(point: dict, name: str, cell) -> dict:
 
 def run_sweep_impl(spec: SweepSpec, jobs: int = 1, cache: CacheLike = None,
                    progress: Optional[Callable[[str], None]] = None,
-                   timeout: Optional[float] = None) -> list[dict]:
+                   timeout: Optional[float] = None,
+                   backend: Optional[str] = None) -> list[dict]:
     """Evaluate every point of *spec*; returns one record per cell.
 
     Each point reuses the suite engine, so the artifact cache deduplicates
@@ -151,7 +152,7 @@ def run_sweep_impl(spec: SweepSpec, jobs: int = 1, cache: CacheLike = None,
             runs = run_suite(benchmarks=programs, heur=heur,
                              config_overrides=point["config"],
                              max_steps=spec.max_steps, jobs=jobs,
-                             cache=cache, timeout=timeout)
+                             cache=cache, timeout=timeout, backend=backend)
         for name, run in runs.items():
             for cell in run.results.values():
                 records.append(_cell_record(point, name, cell))

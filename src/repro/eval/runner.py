@@ -166,8 +166,13 @@ def _short_reason(exc: BaseException) -> str:
 
 
 def _run(prog: Program, config: MachineConfig,
-         max_steps: int = 50_000_000) -> tuple[SimStats, ExecStats]:
+         max_steps: int = 50_000_000,
+         backend: str = "reference") -> tuple[SimStats, ExecStats]:
     COUNTERS.simulates += 1
+    if backend == "fast":
+        from ..fastsim.backend import simulate as fast_simulate
+
+        return fast_simulate(prog, config, max_steps=max_steps)
     fsim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=False)
     tsim = TimingSim(config, observer=maybe_observer())
     stats = tsim.run(fsim.trace())
@@ -198,11 +203,14 @@ def run_benchmark_impl(name: str, prog: Program,
                        heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
                        config_overrides: Optional[dict] = None,
                        max_steps: int = 50_000_000,
-                       strict: bool = False) -> BenchmarkRun:
+                       strict: bool = False,
+                       backend: str = "reference") -> BenchmarkRun:
     """Run every scheme in :data:`SCHEMES` on one benchmark program.
 
     With ``strict=False`` (default) a crashing cell is retried once and
     then recorded as failed; with ``strict=True`` the exception propagates.
+    ``backend="fast"`` runs every cell on the :mod:`repro.fastsim`
+    backend (byte-identical results, transparent reference fallback).
     """
     overrides = config_overrides or {}
     run = BenchmarkRun(name=name)
@@ -219,16 +227,17 @@ def run_benchmark_impl(name: str, prog: Program,
             elif kind == "safe":
                 compiles[kind] = compile_proposed(
                     prog, heur=replace(heur, spectre_safe=True),
-                    max_steps=max_steps)
+                    max_steps=max_steps, backend=backend)
             else:
                 compiles[kind] = compile_proposed(prog, heur=heur,
-                                                  max_steps=max_steps)
+                                                  max_steps=max_steps,
+                                                  backend=backend)
         return compiles[kind]
 
     def _cell(scheme: str, kind: str, predictor: str) -> SchemeResult:
         cr = _compiled(kind)
         st, ex = _run(cr.program, r10k_config(predictor, **overrides),
-                      max_steps)
+                      max_steps, backend=backend)
         return SchemeResult(name, scheme, st, ex, cr)
 
     for scheme, kind, predictor in (("2bitBP", "base", "twobit"),
@@ -256,7 +265,8 @@ def run_suite_impl(scale: float = 1.0,
                    jobs: int = 1,
                    cache=None,
                    timeout: Optional[float] = None,
-                   seed: Optional[int] = None) -> dict[str, BenchmarkRun]:
+                   seed: Optional[int] = None,
+                   backend: Optional[str] = None) -> dict[str, BenchmarkRun]:
     """Run the full benchmark suite through all three schemes.
 
     Returns ``{benchmark: BenchmarkRun}`` in the paper's benchmark order.
@@ -269,6 +279,8 @@ def run_suite_impl(scale: float = 1.0,
     enables the content-addressed artifact store, *jobs* > 1 runs cache
     misses in parallel worker processes with an optional per-cell
     *timeout* (seconds), and *seed* re-seeds the synthetic workloads.
+    *backend* selects the execution backend (``"reference"``/``"fast"``;
+    None defers to ``REPRO_BACKEND``, then ``"reference"``).
     """
     from ..engine.suite import run_suite as _engine_run_suite
 
@@ -276,7 +288,7 @@ def run_suite_impl(scale: float = 1.0,
         scale=scale, heur=heur, benchmarks=benchmarks,
         config_overrides=config_overrides, progress=progress,
         max_steps=max_steps, strict=strict, jobs=jobs, cache=cache,
-        timeout=timeout, seed=seed)
+        timeout=timeout, seed=seed, backend=backend)
 
 
 run_suite = deprecated("repro.api.Session.run_suite")(run_suite_impl)

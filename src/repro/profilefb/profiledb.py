@@ -52,10 +52,24 @@ class ProfileDB:
 
     @classmethod
     def from_run(cls, prog: Program, max_steps: int = 20_000_000,
-                 config: Optional[ClassifyConfig] = None) -> "ProfileDB":
-        """Profile *prog* with one functional run."""
+                 config: Optional[ClassifyConfig] = None,
+                 backend: str = "reference") -> "ProfileDB":
+        """Profile *prog* with one functional run.
+
+        ``backend="fast"`` routes the run through the generated-step
+        executor of :mod:`repro.fastsim` (byte-identical counters,
+        outcome vectors and index counts; transparent reference fallback
+        on fastsim-internal failures).
+        """
         config = config or ClassifyConfig()
-        sim = FunctionalSim(prog, max_steps=max_steps, record_outcomes=True)
+        if backend == "fast":
+            from ..fastsim.backend import functional_sim
+
+            sim = functional_sim(prog, max_steps=max_steps,
+                                 record_outcomes=True)
+        else:
+            sim = FunctionalSim(prog, max_steps=max_steps,
+                                record_outcomes=True)
         stats = sim.run()
         db = cls(program=prog, exec_stats=stats,
                  index_counts=list(sim.index_counts), config=config)

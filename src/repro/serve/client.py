@@ -183,7 +183,8 @@ class ServeClient:
 
 def suite_cells(programs: dict, heur: FeedbackHeuristics,
                 config_overrides: Optional[dict], max_steps: int,
-                timeout: Optional[float] = None
+                timeout: Optional[float] = None,
+                backend: str = "reference"
                 ) -> list[tuple[str, str, str, CellSpec, str]]:
     """The suite's cell grid: (name, scheme, key, spec, spec-payload).
 
@@ -200,9 +201,9 @@ def suite_cells(programs: dict, heur: FeedbackHeuristics,
                 benchmark=name, scheme=scheme, kind=kind,
                 predictor=predictor, program=payload_d, heur=heur,
                 config_overrides=over_items, max_steps=max_steps,
-                timeout=timeout)
+                timeout=timeout, backend=backend)
             key = cell_key(prog, scheme, heur, spec.resolve_config(),
-                           max_steps)
+                           max_steps, backend=backend)
             out.append((name, scheme, key, spec,
                         protocol.cellspec_to_payload(spec)))
     return out
@@ -215,7 +216,8 @@ def remote_run_suite(client: ServeClient, scale: float = 1.0,
                      progress: Optional[Callable[[str], None]] = None,
                      max_steps: int = 50_000_000,
                      timeout: Optional[float] = None,
-                     seed: Optional[int] = None) -> dict:
+                     seed: Optional[int] = None,
+                     backend: Optional[str] = None) -> dict:
     """The service-backed twin of :func:`repro.engine.suite.run_suite`.
 
     Same signature surface, same return shape (``{name:
@@ -223,14 +225,16 @@ def remote_run_suite(client: ServeClient, scale: float = 1.0,
     the other side of the wire, deduplicated fleet-wide.
     """
     from ..eval.runner import BenchmarkRun, SchemeResult
+    from ..fastsim.backend import resolve_backend
     from ..workloads import benchmark_programs
 
+    backend = resolve_backend(backend)
     programs = benchmarks if benchmarks is not None \
         else benchmark_programs(scale, seed=seed)
     with obs_span("serve.client.suite", scale=scale, tenant=client.tenant,
-                  benchmarks=len(programs)):
+                  benchmarks=len(programs), backend=backend):
         grid = suite_cells(programs, heur, config_overrides, max_steps,
-                           timeout)
+                           timeout, backend=backend)
         if progress:
             progress(f"submitting {len(grid)} cells to {client.base_url} "
                      f"as tenant {client.tenant!r}")
@@ -245,7 +249,8 @@ def remote_run_suite(client: ServeClient, scale: float = 1.0,
 
 def remote_run_sweep(client: ServeClient, spec,
                      progress: Optional[Callable[[str], None]] = None,
-                     timeout: Optional[float] = None) -> list[dict]:
+                     timeout: Optional[float] = None,
+                     backend: Optional[str] = None) -> list[dict]:
     """The service-backed twin of :func:`repro.engine.sweep.run_sweep`.
 
     Iterates the same cartesian points and emits the same flat records;
@@ -273,7 +278,7 @@ def remote_run_sweep(client: ServeClient, spec,
         runs = remote_run_suite(
             client, benchmarks=programs, heur=heur,
             config_overrides=point["config"], max_steps=spec.max_steps,
-            timeout=timeout)
+            timeout=timeout, backend=backend)
         for name, run in runs.items():
             for cell in run.results.values():
                 records.append(_cell_record(point, name, cell))

@@ -37,7 +37,9 @@ from ..profilefb.classify import ClassifyConfig
 
 #: Version of the HTTP/JSON wire protocol.  Bump on any change to the
 #: request/response shapes; mismatched peers refuse each other.
-PROTOCOL_VERSION = 1
+#: v2: cell-spec payloads carry the execution backend (repro.fastsim;
+#: engine keys v4, result serde v3 — bumped in lockstep).
+PROTOCOL_VERSION = 2
 
 #: Accepted ``kind`` values of a submitted job.
 JOB_KINDS = ("cells", "fuzz")
@@ -131,6 +133,7 @@ def cellspec_to_payload(spec: CellSpec) -> dict:
         "max_steps": spec.max_steps,
         "timeout": spec.timeout,
         "strict": spec.strict,
+        "backend": spec.backend,
     }
 
 
@@ -149,6 +152,7 @@ def cellspec_from_payload(payload: dict) -> CellSpec:
             max_steps=payload["max_steps"],
             timeout=payload.get("timeout"),
             strict=bool(payload.get("strict", False)),
+            backend=payload.get("backend", "reference"),
         )
     except (KeyError, TypeError) as exc:
         raise ProtocolError(f"malformed cell spec: {exc}") from exc

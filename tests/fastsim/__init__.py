@@ -1,0 +1,1 @@
+"""Cross-backend conformance suite for :mod:`repro.fastsim` (ISSUE 8)."""

@@ -1,0 +1,130 @@
+"""Cross-backend conformance: the fast backend equals the reference, byte
+for byte, over the entire corpus the project already trusts.
+
+Coverage matrix:
+
+* every workload-zoo program (``repro.workloads``, 0.05 scale — the same
+  programs at reduced iteration counts, every opcode and control shape
+  intact), and
+* every checked-in fuzz reproducer (``tests/qa/corpus/*.s`` — programs
+  that historically broke a compiler pass, i.e. the nastiest control
+  flow we know of),
+
+each compiled under **all five** fuzz schemes
+(:data:`repro.qa.cells.FUZZ_SCHEMES`) and simulated on both backends.
+Equality is asserted on serde *payload dicts* (``SimStats.to_dict()`` /
+``ExecStats.to_dict()`` / ``DiffReport.to_dict()``), not on summary
+numbers: one flipped counter anywhere is a failure.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.cells import SCHEME_PLAN, CellSpec, execute_cell, overrides_as_items
+from repro.fastsim import crosscheck, crosscheck_cell
+from repro.profilefb.profiledb import ProfileDB
+from repro.qa.cells import FUZZ_SCHEMES, compile_scheme
+from repro.qa.corpus import load_reproducer
+from repro.sim.config import r10k_config
+from repro.workloads import benchmark_programs
+
+MAX_STEPS = 5_000_000
+SCALE = 0.05
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "qa" / "corpus"
+CORPUS = sorted(p.name for p in CORPUS_DIR.glob("*.s"))
+SCHEMES = [name for name, _ in FUZZ_SCHEMES]
+
+# Programs and profiles are cached per module: the matrix below reuses
+# one parse/profile per program across its five scheme cells.
+_programs: dict = {}
+_profiles: dict = {}
+
+
+def _zoo_names():
+    return sorted(benchmark_programs(scale=SCALE))
+
+
+def _program(name):
+    if name not in _programs:
+        if name.endswith(".s"):
+            _programs[name] = load_reproducer(CORPUS_DIR / name)
+        else:
+            _programs[name] = benchmark_programs(scale=SCALE)[name]
+    return _programs[name]
+
+
+def _profile(name):
+    if name not in _profiles:
+        try:
+            _profiles[name] = ProfileDB.from_run(_program(name),
+                                                 max_steps=MAX_STEPS)
+        except Exception:  # noqa: BLE001 - corpus programs may trap
+            _profiles[name] = None
+    return _profiles[name]
+
+
+def _assert_conformant(name, scheme):
+    prog = _program(name)
+    result = compile_scheme(prog, scheme, profile=_profile(name),
+                            max_steps=MAX_STEPS)
+    report = crosscheck_cell(result.program, r10k_config("twobit"),
+                             max_steps=MAX_STEPS)
+    payload = report.to_dict()
+    assert report.equivalent, (
+        f"{prog.name} under {scheme}: {report.reason}; "
+        f"first mismatches: {report.mismatches[:3]}")
+    # The report itself must be a stable serde payload (round-trips as
+    # JSON) — it is what diffcheck harnesses archive.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("name", _zoo_names())
+def test_zoo_cell_conformance(name, scheme):
+    _assert_conformant(name, scheme)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("name", CORPUS)
+def test_corpus_cell_conformance(name, scheme):
+    assert CORPUS, "qa corpus missing"
+    _assert_conformant(name, scheme)
+
+
+@pytest.mark.parametrize("name", _zoo_names() + CORPUS)
+def test_functional_crosscheck_with_outcomes(name):
+    # record_outcomes=True exercises the branch-outcome vectors and
+    # branch_pc maps of ExecStats — the payload the profiler consumes.
+    report = crosscheck(_program(name), max_steps=MAX_STEPS,
+                        record_outcomes=True)
+    assert report.equivalent, (report.reason, report.mismatches[:3])
+
+
+@pytest.mark.parametrize("name", _zoo_names())
+def test_profile_payloads_identical(name):
+    # Profiling on the fast backend must produce the same feedback the
+    # compiler sees from the reference run — otherwise "identical
+    # compiles" silently stops being true under backend="fast".
+    prog = _program(name)
+    ref = ProfileDB.from_run(prog, max_steps=MAX_STEPS)
+    fast = ProfileDB.from_run(prog, max_steps=MAX_STEPS, backend="fast")
+    assert ref.to_json() == fast.to_json()
+
+
+@pytest.mark.parametrize("scheme,kind,predictor", SCHEME_PLAN)
+def test_engine_cell_payloads_byte_identical(scheme, kind, predictor):
+    # The engine-level contract: the exact payload dict the artifact
+    # cache stores (stats + exec_stats + compile_result + failure) is
+    # byte-identical across backends for every scheme in the plan.
+    prog = _program("grep")
+    spec = CellSpec(benchmark="grep", scheme=scheme, kind=kind,
+                    predictor=predictor, program=prog.to_dict(),
+                    config_overrides=overrides_as_items(None),
+                    max_steps=MAX_STEPS, strict=True)
+    ref = execute_cell(spec, program=prog)
+    fast = execute_cell(
+        CellSpec(**{**spec.__dict__, "backend": "fast"}), program=prog)
+    assert json.dumps(ref, sort_keys=True) == \
+        json.dumps(fast, sort_keys=True)

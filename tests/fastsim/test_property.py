@@ -1,0 +1,98 @@
+"""Property-based conformance: random programs, instruction-for-instruction.
+
+Hypothesis draws (strategy, seed) points from the full fuzz lattice of
+:mod:`repro.qa.strategies` — including ``gadgets`` (Spectre-shaped
+double-load diamonds) and the guarded families that exercise annulment —
+and asserts the fast backend's execution equals the reference
+*per dynamic instruction*, not just in aggregate:
+
+* the committed pc stream (one entry per step, annulled steps included),
+* the taken flag of every non-annulled branch, in order,
+* the effective address of every non-annulled memory op, in order,
+* which absolute step indices were annulled,
+* the full ``ExecStats`` payload and final architectural state.
+
+The reference trace is the source of truth: the fast backend's batched
+trace stream (:meth:`FastFunctionalSim.batches`) is flattened and must
+reproduce it exactly.  Failure behavior must match too — if the
+reference raises (step budget, divergence), the fast path must raise the
+same exception type with the same message.
+
+``derandomize=True`` keeps the tier-1 run deterministic; the example
+count is deliberately modest because the exhaustive corpus lives in
+``test_conformance.py`` — this test exists to search the space *between*
+the checked-in reproducers.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fastsim.functional import FastFunctionalSim
+from repro.qa.strategies import BY_NAME
+from repro.sim.functional import FunctionalSim
+
+STEP_BUDGET = 200_000
+LATTICE = sorted(BY_NAME)
+
+
+def _reference_trace(sim):
+    """(idxs, brs, mems, anns, failure) from a reference run."""
+    idxs, brs, mems, anns = [], [], [], []
+    failure = None
+    try:
+        for step, e in enumerate(sim.trace()):
+            idxs.append(e.index)
+            if e.annulled:
+                anns.append(step)
+                continue
+            if e.taken is not None:
+                brs.append(e.taken)
+            if e.addr is not None:
+                mems.append(e.addr)
+    except Exception as exc:  # noqa: BLE001 - compared, not swallowed
+        failure = f"{type(exc).__name__}: {exc}"
+    return idxs, brs, mems, anns, failure
+
+
+def _fast_trace(sim):
+    idxs, brs, mems, anns = [], [], [], []
+    failure = None
+    try:
+        for bi, bb, bm, ba in sim.batches():
+            idxs.extend(bi)
+            brs.extend(bb)
+            mems.extend(bm)
+            anns.extend(ba)
+    except Exception as exc:  # noqa: BLE001
+        failure = f"{type(exc).__name__}: {exc}"
+    return list(idxs), list(brs), list(mems), list(anns), failure
+
+
+@settings(max_examples=40, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(LATTICE), seed=st.integers(0, 4095))
+def test_random_program_trace_equality(name, seed):
+    prog = BY_NAME[name].program(seed)
+    ref = FunctionalSim(prog, max_steps=STEP_BUDGET, record_outcomes=True)
+    fast = FastFunctionalSim(prog, max_steps=STEP_BUDGET,
+                             record_outcomes=True)
+    r_idxs, r_brs, r_mems, r_anns, r_fail = _reference_trace(ref)
+    f_idxs, f_brs, f_mems, f_anns, f_fail = _fast_trace(fast)
+
+    assert r_fail == f_fail, \
+        f"{name}-{seed}: failure mismatch {r_fail!r} vs {f_fail!r}"
+    if r_idxs != f_idxs:
+        first = next((i for i, (a, b) in enumerate(zip(r_idxs, f_idxs))
+                      if a != b), min(len(r_idxs), len(f_idxs)))
+        raise AssertionError(
+            f"{name}-{seed}: pc stream diverged at step {first} "
+            f"(lengths {len(r_idxs)} vs {len(f_idxs)})")
+    assert r_brs == f_brs, f"{name}-{seed}: branch outcomes diverged"
+    assert r_mems == f_mems, f"{name}-{seed}: memory addresses diverged"
+    assert r_anns == f_anns, f"{name}-{seed}: annulment steps diverged"
+    assert ref.stats.to_dict() == fast.stats.to_dict()
+    if r_fail is None:
+        assert ref.regs == fast.regs
+        assert ref.fregs == fast.fregs
+        assert ref.ccregs == fast.ccregs
+        assert ref.index_counts == fast.index_counts

@@ -35,6 +35,14 @@ cache namespace (must do zero compiles/simulations), and two tenants
 submitting an identical grid concurrently (each unique cell must execute
 exactly once fleet-wide).  Written to ``BENCH_serve.json``.
 
+A seventh phase measures the **fast execution backend**
+(``repro.fastsim``): generated-step functional execution and the
+decode-once + batched-event cell path vs the reference interpreters
+(min-of-9 with the same A/A noise gate; payloads must stay
+byte-identical), plus a cold end-to-end suite run per backend.  Written
+to ``BENCH_fastsim.json``; the headline gate is a >= 10x functional
+speedup.
+
 Run from the repository root::
 
     python tools/bench_suite.py [--scale 0.1] [--jobs 4] [--out FILE]
@@ -413,6 +421,137 @@ def bench_serve(scale: float, max_steps: int, workers: int = 2,
     return record
 
 
+def bench_fastsim(scale: float, max_steps: int, repeats: int = 9,
+                  out: str = "BENCH_fastsim.json") -> dict:
+    """Measure the fast execution backend against the reference simulators.
+
+    Three measurements over the stock workloads at *scale*, all with the
+    engine's result cache cold (decode/codegen caches are warmed once per
+    program first — their cost is one-time per program and is charged to
+    the ``end_to_end`` figure instead):
+
+    * **functional** (the headline, gated >= 10x) — one full functional
+      run per workload with outcome recording on (the profiling
+      configuration), reference vs generated-step, min-of-``repeats``
+      with an A/A re-measure bounding timer noise;
+    * **sim_path** (regression floor, gated >= 2.5x) — one full cell
+      (functional + timing) per workload, reference pair vs
+      decode-once + batched-event pair, min-of-3 (the timing model
+      dominates, so fewer repeats suffice); the two payload dict pairs
+      must be byte-identical;
+    * **end_to_end** — one cold :func:`repro.engine.run_suite` per
+      backend over throwaway caches (includes the shared compile cost,
+      so this ratio is what a user actually feels; reported, not gated).
+    """
+    from repro.engine import run_suite as _run_suite
+    from repro.fastsim import FastFunctionalSim
+    from repro.fastsim.backend import simulate as fast_simulate
+    from repro.sim import FunctionalSim, TimingSim, r10k_config
+    from repro.workloads import benchmark_programs
+
+    programs = benchmark_programs(scale)
+    config = r10k_config("twobit")
+
+    def _best(fn, n: int) -> float:
+        times = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    functional: dict[str, dict] = {}
+    sim_path: dict[str, dict] = {}
+    payloads_identical = True
+    for name, prog in programs.items():
+        # Warm the decode/codegen caches for both variants (record-mode
+        # functional, trace-mode cell) before any clock starts.
+        FastFunctionalSim(prog, max_steps=max_steps).run()
+        fast_pair = fast_simulate(prog, config, max_steps=max_steps)
+
+        ref_s = _best(lambda: FunctionalSim(
+            prog, max_steps=max_steps, record_outcomes=True).run(), repeats)
+        ref_again = _best(lambda: FunctionalSim(
+            prog, max_steps=max_steps, record_outcomes=True).run(), repeats)
+        fast_s = _best(lambda: FastFunctionalSim(
+            prog, max_steps=max_steps, record_outcomes=True).run(), repeats)
+        functional[name] = {
+            "reference_s": round(ref_s, 4),
+            "reference_again_s": round(ref_again, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(ref_s / fast_s, 2) if fast_s else None,
+        }
+
+        def _ref_cell():
+            fsim = FunctionalSim(prog, max_steps=max_steps,
+                                 record_outcomes=False)
+            stats = TimingSim(config).run(fsim.trace())
+            return stats, fsim.stats
+
+        ref_pair = _ref_cell()
+        payloads_identical &= (
+            (ref_pair[0].to_dict(), ref_pair[1].to_dict())
+            == (fast_pair[0].to_dict(), fast_pair[1].to_dict()))
+        cell_ref = _best(_ref_cell, 3)
+        cell_fast = _best(lambda: fast_simulate(prog, config,
+                                                max_steps=max_steps), 3)
+        sim_path[name] = {
+            "reference_s": round(cell_ref, 4),
+            "fast_s": round(cell_fast, 4),
+            "speedup": round(cell_ref / cell_fast, 2) if cell_fast else None,
+        }
+
+    def _totals(rows: dict, key_ref: str = "reference_s") -> dict:
+        ref = sum(r[key_ref] for r in rows.values())
+        fast = sum(r["fast_s"] for r in rows.values())
+        return {"reference_s": round(ref, 4), "fast_s": round(fast, 4),
+                "speedup": round(ref / fast, 2) if fast else None}
+
+    func_total = _totals(functional)
+    ref_total = sum(r["reference_s"] for r in functional.values())
+    again_total = sum(r["reference_again_s"] for r in functional.values())
+    noise_pct = (round(100.0 * (again_total - ref_total) / ref_total, 2)
+                 if ref_total else 0.0)
+    sim_total = _totals(sim_path)
+
+    end_to_end: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-fastsim-") as d:
+        for backend in ("reference", "fast"):
+            cache = ArtifactCache(Path(d) / backend)
+            t0 = time.perf_counter()
+            _run_suite(scale=scale, max_steps=max_steps, cache=cache,
+                       backend=backend)
+            end_to_end[f"{backend}_s"] = round(time.perf_counter() - t0, 4)
+    end_to_end["speedup"] = (
+        round(end_to_end["reference_s"] / end_to_end["fast_s"], 2)
+        if end_to_end["fast_s"] else None)
+
+    record = {
+        "bench": "fastsim",
+        "scale": scale,
+        "repeats": repeats,
+        "max_steps": max_steps,
+        "semantics": ("engine result cache cold; decode/codegen caches "
+                      "warm (their one-time cost is charged to "
+                      "end_to_end, which runs everything cold)"),
+        "functional": {"workloads": functional, "total": func_total,
+                       "noise_pct": noise_pct},
+        "sim_path": {"workloads": sim_path, "total": sim_total},
+        "end_to_end": end_to_end,
+        "gate_functional_ge_10x": (func_total["speedup"] or 0) >= 10.0,
+        "gate_sim_path_ge_2_5x": (sim_total["speedup"] or 0) >= 2.5,
+        "gate_payloads_identical": payloads_identical,
+        "gate_noise_lt_5pct": abs(noise_pct) < 5.0,
+    }
+    Path(out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"fastsim: functional={func_total['speedup']}x "
+          f"(A/A noise={noise_pct}%) sim-path={sim_total['speedup']}x "
+          f"end-to-end={end_to_end['speedup']}x "
+          f"payloads-identical={payloads_identical} -> {out}",
+          file=sys.stderr)
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     """Time the three phases and write the JSON record."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -439,6 +578,11 @@ def main(argv: list[str] | None = None) -> int:
                          "(default BENCH_serve.json)")
     ap.add_argument("--skip-serve", action="store_true",
                     help="skip the evaluation-service phase")
+    ap.add_argument("--fastsim-out", default="BENCH_fastsim.json",
+                    help="fast-backend output path "
+                         "(default BENCH_fastsim.json)")
+    ap.add_argument("--skip-fastsim", action="store_true",
+                    help="skip the fast-backend phase")
     args = ap.parse_args(argv)
 
     phases: dict[str, dict] = {}
@@ -510,6 +654,25 @@ def main(argv: list[str] | None = None) -> int:
         if not srv["gate_dedup_exactly_once"]:
             print("WARNING: serve dedup executed cells more than once",
                   file=sys.stderr)
+            rc = 1
+    if not args.skip_fastsim:
+        print(f"fastsim (scale={args.scale}) ...", file=sys.stderr)
+        fs = bench_fastsim(args.scale, args.max_steps,
+                           out=args.fastsim_out)
+        if not fs["gate_payloads_identical"]:
+            print("WARNING: fast backend payloads diverged from reference",
+                  file=sys.stderr)
+            rc = 1
+        if not fs["gate_functional_ge_10x"]:
+            print("WARNING: fast functional speedup fell below 10x",
+                  file=sys.stderr)
+            rc = 1
+        if not fs["gate_sim_path_ge_2_5x"]:
+            print("WARNING: fast sim-path speedup fell below 2.5x",
+                  file=sys.stderr)
+            rc = 1
+        if not fs["gate_noise_lt_5pct"]:
+            print("WARNING: fastsim A/A noise exceeded 5%", file=sys.stderr)
             rc = 1
     if not record["cold_gt_warm"]:
         print("WARNING: warm run was not faster than cold", file=sys.stderr)
