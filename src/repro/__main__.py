@@ -29,6 +29,9 @@ Commands:
 * ``jobs``    — list a service's jobs and show its queue/fleet stats;
 * ``sweep``   — run a declarative design-space sweep and write one JSON
   record per (point, benchmark, scheme) cell;
+* ``tune``    — run a closed-loop heuristic search (successive halving
+  plus mutation) over cached engine cells and print the Pareto front
+  and per-workload winning vectors (see docs/TUNE.md);
 * ``trace``   — ``trace run`` executes a traced suite (JSONL spans to
   ``--out``), ``trace summarize`` renders a per-span timing table from a
   trace file (see docs/OBSERVABILITY.md).
@@ -76,31 +79,26 @@ def _load_program(name: str, scale: float) -> Program:
         f"({', '.join(sorted(BENCHMARKS))}) and not a file")
 
 
-def _make_cache(args: argparse.Namespace):
-    """Build the artifact cache from the shared CLI flags (None = off)."""
-    if getattr(args, "no_cache", False):
-        return None
-    from .engine import ArtifactCache
-
-    return ArtifactCache(getattr(args, "cache_dir", None))
-
-
 def _session_from(args: argparse.Namespace, *, cache=None,
                   trace_path=None, **kw) -> Session:
     """One :class:`Session` per CLI invocation, from the shared flags.
 
-    Explicit *cache*/*trace_path* arguments override the flag-derived
-    values (``trace run`` routes its ``--out`` here).
+    Every subcommand translates its engine flags through the one shared
+    :func:`repro.api.options_from_args` helper, so ``--jobs`` /
+    ``--no-cache`` / ``--backend`` / ``--trace`` behave identically
+    everywhere.  Explicit *cache*/*trace_path* arguments override the
+    flag-derived values (``trace run`` routes its ``--out`` here).
     """
-    return Session(
-        jobs=getattr(args, "jobs", 1),
-        cache=cache if cache is not None else _make_cache(args),
-        trace_path=(trace_path if trace_path is not None
-                    else getattr(args, "trace", None)),
-        remote=getattr(args, "remote", None),
-        tenant=getattr(args, "tenant", "default"),
-        backend=getattr(args, "backend", None),
-        **kw)
+    from dataclasses import replace
+
+    from .api import options_from_args
+
+    opts = options_from_args(args)
+    if cache is not None:
+        opts = replace(opts, cache=cache)
+    if trace_path is not None:
+        opts = replace(opts, trace=trace_path)
+    return Session(options=opts, **kw)
 
 
 def _report_cache(store) -> None:
@@ -113,7 +111,7 @@ def _report_cache(store) -> None:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    with _session_from(args, strict=args.strict) as session:
+    with _session_from(args) as session:
         try:
             runs = session.run_suite(
                 scale=args.scale,
@@ -327,6 +325,47 @@ def _usage_error(message: str) -> int:
     return 2
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Run a closed-loop heuristic search (see docs/TUNE.md)."""
+    import json
+
+    from .tune import (DEFAULT_PARAM_NAMES, ParamSpec, TuneSpec,
+                       format_tune_result)
+
+    def _parse_param(text: str) -> ParamSpec:
+        # NAME (registered bounds) or NAME=LO:HI (narrowed range) or
+        # NAME=a,b,c (choice values).
+        name, _, rng = text.partition("=")
+        if not rng:
+            return ParamSpec(name)
+        if ":" in rng:
+            lo, _, hi = rng.partition(":")
+            return ParamSpec(name, lo=float(lo), hi=float(hi))
+        return ParamSpec(name, choices=tuple(rng.split(",")))
+
+    names = args.param or list(DEFAULT_PARAM_NAMES)
+    spec = TuneSpec(
+        params=tuple(_parse_param(t) for t in names),
+        benchmarks=(tuple(args.benchmarks.split(","))
+                    if args.benchmarks else None),
+        scale=args.scale, budget=args.budget, seed=args.seed,
+        max_steps=args.max_steps)
+    try:
+        spec.validate()
+    except ValueError as exc:
+        raise SystemExit(f"invalid tune spec: {exc}")
+    with _session_from(args) as session:
+        result = session.tune(
+            spec, progress=lambda msg: print(msg, file=sys.stderr))
+    print(format_tune_result(result))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"tune result written to {args.out}", file=sys.stderr)
+    _report_cache(session.cache)
+    return 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run a differential fuzzing campaign (or replay a corpus)."""
     from .qa import replay_corpus
@@ -354,7 +393,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"{'all clean' if not bad else f'{bad} FAILED'}")
         return 1 if bad else 0
 
-    with _session_from(args, max_steps=args.max_steps) as session:
+    with _session_from(args) as session:
         try:
             result = session.fuzz(
                 budget=args.budget, seed=args.seed, shrink=args.shrink,
@@ -526,8 +565,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     # action == "run": a traced (and optionally metric-counted) suite run.
     # Spans are process-local, so the traced suite runs with the session's
     # default jobs=1 unless the caller insists on a pool.
-    with _session_from(args, trace_path=args.out,
-                       metrics=args.metrics) as session:
+    with _session_from(args, trace_path=args.out) as session:
         session.run_suite(
             scale=args.scale,
             progress=lambda b: print(f"running {b} ...", file=sys.stderr))
@@ -682,6 +720,35 @@ def main(argv: list[str] | None = None) -> int:
                    help="write records to FILE instead of stdout")
     _engine_flags(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "tune",
+        help="closed-loop heuristic search over cached engine cells "
+             "(docs/TUNE.md)")
+    p.add_argument("--param", action="append", metavar="NAME[=LO:HI|=A,B]",
+                   help="search axis (repeatable): a FeedbackHeuristics "
+                        "knob ('speculation_bias', dotted "
+                        "'classify.likely_threshold') or machine axis "
+                        "('config.fetch_width'); optional =LO:HI narrows "
+                        "the registered bound, =A,B restricts a choice "
+                        "parameter. Default: the paper's four Figure 6 "
+                        "thresholds")
+    p.add_argument("--budget", type=int, default=32, metavar="N",
+                   help="(candidate, fidelity-rung) evaluations to spend "
+                        "(default 32)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="search seed (same seed + budget => identical "
+                        "Pareto front; default 0)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="full-fidelity workload scale factor (default 1.0)")
+    p.add_argument("--benchmarks", metavar="B1,B2",
+                   help="restrict to these benchmarks (default: all)")
+    p.add_argument("--max-steps", type=int, default=50_000_000,
+                   help="per-cell functional step budget")
+    p.add_argument("--out", metavar="FILE",
+                   help="also write the serialized TuneResult JSON to FILE")
+    _engine_flags(p)
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("profile", help="print a program's feedback metrics")
     p.add_argument("program", help="benchmark name or .s file")

@@ -16,6 +16,35 @@ from ..profilefb.classify import ClassifyConfig
 
 
 @dataclass(frozen=True)
+class ParamBound:
+    """Inclusive tuning range of one heuristic knob (see :mod:`repro.tune`).
+
+    ``kind`` is ``"float"``, ``"int"``, or ``"choice"``; choice parameters
+    carry their admissible values in ``choices`` (``lo``/``hi`` unused).
+    """
+
+    lo: float = 0.0
+    hi: float = 0.0
+    kind: str = "float"
+    choices: tuple = ()
+
+    def clamp(self, value):
+        """*value* forced into the bound (and onto the int grid)."""
+        if self.kind == "choice":
+            return value if value in self.choices else self.choices[0]
+        v = min(max(value, self.lo), self.hi)
+        return int(round(v)) if self.kind == "int" else float(v)
+
+    def contains(self, value) -> bool:
+        """True when *value* is admissible under this bound."""
+        if self.kind == "choice":
+            return value in self.choices
+        if self.kind == "int" and value != int(value):
+            return False
+        return self.lo <= value <= self.hi
+
+
+@dataclass(frozen=True)
 class FeedbackHeuristics:
     """All knobs of the proposed compilation scheme."""
 
@@ -66,6 +95,30 @@ class FeedbackHeuristics:
 
 
 DEFAULT_HEURISTICS = FeedbackHeuristics()
+
+#: Bounded-parameter metadata of every knob the closed-loop search
+#: (:mod:`repro.tune`) may vary.  Dotted ``classify.<field>`` names reach
+#: into the nested :class:`~repro.profilefb.classify.ClassifyConfig`;
+#: plain names are :class:`FeedbackHeuristics` fields.  The paper's
+#: global Figure 6 values (0.95 likely / 0.65 bias / ...) all sit inside
+#: their bounds, so the default vector is always a valid candidate.
+TUNABLE_PARAMS: dict[str, ParamBound] = {
+    "classify.likely_threshold": ParamBound(0.80, 0.999),
+    "classify.bias_threshold": ParamBound(0.55, 0.95),
+    "classify.monotonic_toggle": ParamBound(0.20, 0.80),
+    "classify.segment_bias": ParamBound(0.70, 0.99),
+    "classify.window": ParamBound(4, 16, "int"),
+    "classify.max_segments": ParamBound(2, 8, "int"),
+    "mispredict_penalty": ParamBound(2.0, 8.0),
+    "guard_dependence_penalty": ParamBound(0.0, 2.0),
+    "split_overhead_per_iter": ParamBound(0.25, 2.0),
+    "min_executions": ParamBound(4, 64, "int"),
+    "min_gain": ParamBound(0.0, 8.0),
+    "speculation_bias": ParamBound(0.50, 0.95),
+    "max_moves_per_block": ParamBound(1, 8, "int"),
+    "split_style": ParamBound(kind="choice",
+                              choices=("sectioned", "inline")),
+}
 
 
 def split_benefit_estimate(history: BranchHistory, segments,

@@ -92,13 +92,21 @@ def execution_mode(jobs: int, n_items: int) -> PoolDecision:
 
 def _run_serial(specs: list[CellSpec],
                 programs: Optional[dict[str, Program]] = None) -> list[dict]:
-    """In-process fallback: per-benchmark compile sharing, input order."""
-    memos: dict[str, dict] = defaultdict(dict)
+    """In-process fallback: compile sharing in input order.
+
+    The memo is keyed by everything that determines a compile —
+    benchmark, heuristics, step budget, backend — not just the
+    benchmark: the suite's cells are heur-homogeneous per benchmark, but
+    :mod:`repro.tune` batches *different* candidate vectors of the same
+    benchmark through one call, and those must never share a compile.
+    """
+    memos: dict[tuple, dict] = defaultdict(dict)
     out = []
     for spec in specs:
         prog = (programs or {}).get(spec.benchmark)
+        memo_key = (spec.benchmark, spec.heur, spec.max_steps, spec.backend)
         out.append(execute_cell(spec, program=prog,
-                                compile_memo=memos[spec.benchmark]))
+                                compile_memo=memos[memo_key]))
     return out
 
 

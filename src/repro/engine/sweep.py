@@ -51,20 +51,39 @@ class SweepSpec:
     seed: Optional[int] = None
 
     def validate(self) -> None:
-        """Reject unknown config/heuristic field names early."""
+        """Reject unknown or duplicated axis field names early.
+
+        Every error names the offending grid (``config_grid`` vs
+        ``heur_grid``) *and* field.  Duplicate fields — repeated within
+        one grid, or appearing in both grids — are rejected instead of
+        silently letting the later axis override the earlier one when
+        :meth:`points` flattens each combination into a dict.
+        """
         config_names = {f.name for f in dc_fields(MachineConfig)}
         heur_names = {f.name for f in dc_fields(FeedbackHeuristics)}
-        for name, _ in self.config_grid:
-            if name not in config_names:
-                raise ValueError(f"unknown MachineConfig field {name!r}")
-            if name == "predictor":
-                raise ValueError(
-                    "the predictor axis is fixed by the scheme plan; "
-                    "sweep other fields")
-        for name, _ in self.heur_grid:
-            if name not in heur_names:
-                raise ValueError(
-                    f"unknown FeedbackHeuristics field {name!r}")
+        seen: dict[str, str] = {}  # field -> grid that first claimed it
+        for grid_name, grid, known, kind in (
+                ("config_grid", self.config_grid, config_names,
+                 "MachineConfig"),
+                ("heur_grid", self.heur_grid, heur_names,
+                 "FeedbackHeuristics")):
+            for name, _ in grid:
+                if name not in known:
+                    raise ValueError(
+                        f"{grid_name}: unknown {kind} field {name!r}")
+                if grid_name == "config_grid" and name == "predictor":
+                    raise ValueError(
+                        "config_grid: the predictor axis is fixed by the "
+                        "scheme plan; sweep other fields")
+                if name in seen:
+                    where = ("appears twice in " + grid_name
+                             if seen[name] == grid_name else
+                             f"appears in both {seen[name]} and {grid_name}")
+                    raise ValueError(
+                        f"duplicate sweep axis {name!r}: {where} "
+                        f"(later values would silently override earlier "
+                        f"ones)")
+                seen[name] = grid_name
 
     def points(self) -> Iterator[dict]:
         """Every sweep point: ``{"scale", "config", "heur"}`` dicts."""

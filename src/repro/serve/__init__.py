@@ -26,7 +26,8 @@ See ``docs/SERVICE.md`` for the architecture and the wire protocol.
 """
 
 from .client import (Backpressure, ServeClient, ServeError,
-                     remote_fuzz_executor, remote_run_suite,
+                     remote_cell_executor, remote_fuzz_executor,
+                     remote_run_suite,
                      remote_run_sweep, suite_cells)
 from .protocol import PROTOCOL_VERSION, ProtocolError
 from .queue import MAX_CELL_ATTEMPTS, Job, JobQueue
@@ -48,5 +49,6 @@ __all__ = [
     "serve_forever",
     "ServeClient", "ServeError", "Backpressure",
     "remote_run_suite", "remote_run_sweep", "remote_fuzz_executor",
+    "remote_cell_executor",
     "suite_cells",
 ]

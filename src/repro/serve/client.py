@@ -285,6 +285,27 @@ def remote_run_sweep(client: ServeClient, spec,
     return records
 
 
+def remote_cell_executor(client: ServeClient) -> Callable:
+    """A batched cell executor for :func:`repro.tune.run_tune`.
+
+    Returns ``executor(cells) -> {key: payload}`` where *cells* is a
+    ``[(key, CellSpec)]`` batch: each tuning round submits its whole
+    candidate grid as one job (kind ``"cells"``), so the fleet dedups
+    identical cells across rounds, candidates, and tenants exactly as it
+    does for suite submissions.
+    """
+    def _execute(cells: list) -> dict[str, dict]:
+        if not cells:
+            return {}
+        batch = [(key, protocol.cellspec_to_payload(spec))
+                 for key, spec in cells]
+        with obs_span("serve.client.tune_batch", tenant=client.tenant,
+                      cells=len(batch)):
+            return client.run_cells(batch)
+
+    return _execute
+
+
 def remote_fuzz_executor(client: ServeClient) -> Callable:
     """An executor for :func:`repro.qa.campaign.run_campaign`'s hook.
 

@@ -1,0 +1,1 @@
+"""Tests of the closed-loop heuristic tuner (repro.tune)."""

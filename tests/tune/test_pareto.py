@@ -1,0 +1,35 @@
+"""Pareto-front extraction over the tuner's objective vectors."""
+
+from repro.tune import dominates, pareto_front
+
+
+def _v(ipc, growth, cost):
+    return {"ipc": ipc, "code_growth": growth, "compile_cost": cost}
+
+
+def test_dominates_strict():
+    assert dominates(_v(2.0, 1.0, 10), _v(1.9, 1.0, 10))
+    assert dominates(_v(2.0, 1.0, 9), _v(2.0, 1.0, 10))
+    assert not dominates(_v(2.0, 1.0, 10), _v(2.0, 1.0, 10))  # equal
+    assert not dominates(_v(2.0, 1.2, 10), _v(1.9, 1.0, 10))  # trade-off
+
+
+def test_front_keeps_tradeoffs():
+    pts = [_v(2.0, 1.10, 30),   # fastest
+           _v(1.8, 1.00, 10),   # cheapest
+           _v(1.9, 1.05, 20),   # middle (non-dominated)
+           _v(1.7, 1.10, 40)]   # dominated by everything above
+    assert pareto_front(pts) == [0, 1, 2]
+
+
+def test_front_keeps_ties():
+    pts = [_v(2.0, 1.0, 10), _v(2.0, 1.0, 10), _v(1.0, 2.0, 99)]
+    assert pareto_front(pts) == [0, 1]
+
+
+def test_single_point():
+    assert pareto_front([_v(1.0, 1.0, 1)]) == [0]
+
+
+def test_empty():
+    assert pareto_front([]) == []

@@ -43,6 +43,14 @@ byte-identical), plus a cold end-to-end suite run per backend.  Written
 to ``BENCH_fastsim.json``; the headline gate is a >= 10x functional
 speedup.
 
+An eighth phase measures the **closed-loop autotuner** (``repro.tune``):
+one deterministic micro-search over the paper's Figure 6 thresholds,
+gating that (a) the learned per-workload vector strictly beats the
+paper-default heuristics' IPC on at least one stock workload within 5 %
+code growth, and (b) resuming the identical search executes zero cells
+(result-level cache hit; min-of-9 warm latency with the A/A noise
+gate).  Written to ``BENCH_tune.json``.
+
 Run from the repository root::
 
     python tools/bench_suite.py [--scale 0.1] [--jobs 4] [--out FILE]
@@ -552,6 +560,111 @@ def bench_fastsim(scale: float, max_steps: int, repeats: int = 9,
     return record
 
 
+def bench_tune(scale: float, max_steps: int, repeats: int = 9,
+               budget: int = 24, out: str = "BENCH_tune.json") -> dict:
+    """Measure the closed-loop tuner: learned-vs-default IPC and resume.
+
+    One deterministic micro-search (seed 0, *budget* evaluations) over
+    the paper's four Figure 6 thresholds, then:
+
+    * **learned-vs-paper gate** — the per-workload winning vector must
+      strictly beat ``DEFAULT_HEURISTICS`` IPC on at least one stock
+      workload while staying within 5% code growth of the default
+      compile (winners are slack-constrained by construction; the gate
+      asserts a strict improvement exists).  IPC comes from the
+      cycle-exact timing simulator, so no repeat sampling applies to it;
+    * **resume gate** — re-running the identical search against the warm
+      cache must execute **zero** cells (compile/simulate counters stay
+      at 0: the result-level entry answers first, and every cell behind
+      it is a content-addressed hit);
+    * **resume latency** — wall-clock of the warm resume, min-of-
+      ``repeats`` measured twice (the A/A delta bounds timer noise),
+      plus the cold-search seconds it replaces.
+    """
+    from repro.tune import DEFAULT_PARAM_NAMES, ParamSpec, TuneSpec, \
+        run_tune
+
+    spec = TuneSpec(
+        params=tuple(ParamSpec(n) for n in DEFAULT_PARAM_NAMES),
+        scale=scale, budget=budget, seed=0, max_steps=max_steps)
+
+    with tempfile.TemporaryDirectory(prefix="bench-tune-") as d:
+        cache = ArtifactCache(Path(d) / "cache")
+        t0 = time.perf_counter()
+        result = run_tune(spec, cache=cache, jobs=1)
+        cold_s = time.perf_counter() - t0
+
+        COUNTERS.reset()
+        resumed = run_tune(spec, cache=cache, jobs=1)
+        resume_compiles = COUNTERS.compiles
+        resume_simulates = COUNTERS.simulates
+
+        def _best_resume() -> float:
+            times = []
+            for _ in range(repeats):
+                t = time.perf_counter()
+                run_tune(spec, cache=cache, jobs=1)
+                times.append(time.perf_counter() - t)
+            return min(times)
+
+        resume_s = _best_resume()
+        resume_again_s = _best_resume()
+
+    def _pct(new: float, base: float) -> float:
+        return round(100.0 * (new - base) / base, 2) if base else 0.0
+
+    workloads = {
+        bench: {
+            "candidate": w["candidate"],
+            "params": w["params"],
+            "ipc_tuned": round(w["ipc"], 4),
+            "ipc_default": round(w["default_ipc"], 4),
+            "ipc_gain_pct": round(w["ipc_gain_pct"], 2),
+            "code_growth": round(w["code_growth"], 4),
+            "code_growth_vs_default_pct": _pct(
+                w["code_growth"], w["default_code_growth"]),
+        }
+        for bench, w in sorted(result.per_workload.items())
+    }
+    improved = [b for b, w in workloads.items()
+                if w["ipc_tuned"] > w["ipc_default"]
+                and w["code_growth_vs_default_pct"] <= 5.0]
+
+    record = {
+        "bench": "tune",
+        "scale": scale,
+        "budget": budget,
+        "seed": spec.seed,
+        "repeats": repeats,
+        "evaluations": result.evaluations,
+        "candidates": len(result.candidates),
+        "pareto_size": len(result.pareto),
+        "cells_hit": result.cells_hit,
+        "cells_executed": result.cells_executed,
+        "cold_seconds": round(cold_s, 4),
+        "resume_seconds": round(resume_s, 4),
+        "resume_seconds_again": round(resume_again_s, 4),
+        "noise_pct": _pct(resume_again_s, resume_s),
+        "gate_noise_lt_5pct": abs(_pct(resume_again_s, resume_s)) < 5.0,
+        "resume_compiles": resume_compiles,
+        "resume_simulates": resume_simulates,
+        "gate_resume_zero_cells": (resume_compiles == 0
+                                   and resume_simulates == 0),
+        "resume_identical": resumed.to_dict() == result.to_dict(),
+        "improved_workloads": improved,
+        "gate_tuned_beats_default": bool(improved),
+        "workloads": workloads,
+    }
+    Path(out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    gains = ", ".join(f"{b}=+{workloads[b]['ipc_gain_pct']}%"
+                      for b in improved) or "none"
+    print(f"tune: {result.evaluations} evaluations cold={cold_s:.2f}s "
+          f"resume={resume_s:.4f}s (0 cells: "
+          f"{record['gate_resume_zero_cells']}) improved [{gains}] "
+          f"-> {out}", file=sys.stderr)
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     """Time the three phases and write the JSON record."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -583,6 +696,12 @@ def main(argv: list[str] | None = None) -> int:
                          "(default BENCH_fastsim.json)")
     ap.add_argument("--skip-fastsim", action="store_true",
                     help="skip the fast-backend phase")
+    ap.add_argument("--tune-out", default="BENCH_tune.json",
+                    help="autotuning output path (default BENCH_tune.json)")
+    ap.add_argument("--skip-tune", action="store_true",
+                    help="skip the autotuning phase")
+    ap.add_argument("--tune-budget", type=int, default=24,
+                    help="candidate-evaluation budget for the tune phase")
     args = ap.parse_args(argv)
 
     phases: dict[str, dict] = {}
@@ -673,6 +792,23 @@ def main(argv: list[str] | None = None) -> int:
             rc = 1
         if not fs["gate_noise_lt_5pct"]:
             print("WARNING: fastsim A/A noise exceeded 5%", file=sys.stderr)
+            rc = 1
+    if not args.skip_tune:
+        print(f"tune (scale={args.scale}, budget={args.tune_budget}) ...",
+              file=sys.stderr)
+        tn = bench_tune(args.scale, args.max_steps,
+                        budget=args.tune_budget, out=args.tune_out)
+        if not tn["gate_tuned_beats_default"]:
+            print("WARNING: tuner found no workload beating the paper "
+                  "defaults within 5% code growth", file=sys.stderr)
+            rc = 1
+        if not tn["gate_resume_zero_cells"]:
+            print("WARNING: resumed tune search executed cells",
+                  file=sys.stderr)
+            rc = 1
+        if not tn["gate_noise_lt_5pct"]:
+            print("WARNING: tune resume A/A noise exceeded 5%",
+                  file=sys.stderr)
             rc = 1
     if not record["cold_gt_warm"]:
         print("WARNING: warm run was not faster than cold", file=sys.stderr)
