@@ -34,7 +34,17 @@ Commands:
   and per-workload winning vectors (see docs/TUNE.md);
 * ``trace``   — ``trace run`` executes a traced suite (JSONL spans to
   ``--out``), ``trace summarize`` renders a per-span timing table from a
-  trace file (see docs/OBSERVABILITY.md).
+  trace file (see docs/OBSERVABILITY.md);
+* ``ingest``  — import external programs (Bril-like ``.bril`` sources or
+  JSONL ``.trace.jsonl`` basic-block traces) as first-class workloads:
+  lower onto the ISA, verify, and print or ``--emit`` the assembly;
+  ``--check`` replays committed ``.golden.s`` files (the CI gate) and
+  ``--update-goldens`` regenerates them (see docs/INGEST.md).
+
+Program arguments (``profile``/``compile``/``run``/``verify``) accept a
+benchmark name, a ``.s`` assembly file, or any ``repro ingest`` input
+file; ``tables --import FILE`` evaluates imported workloads alongside
+the synthetic suite.
 
 Every experiment command (``tables``, ``sweep``, ``fuzz``, ``verify``)
 constructs exactly one :class:`repro.api.Session` from the shared engine
@@ -73,6 +83,16 @@ def _load_program(name: str, scale: float) -> Program:
         return benchmark_programs(scale)[name]
     path = Path(name)
     if path.exists():
+        from .ingest import IngestError
+        from .ingest.lower import SUFFIXES
+
+        if any(path.name.endswith(s) for s in SUFFIXES):
+            from .ingest import import_path
+
+            try:
+                return import_path(path)
+            except IngestError as exc:
+                raise SystemExit(f"cannot import {name}: {exc}")
         return parse(path.read_text(), name=path.stem)
     raise SystemExit(
         f"unknown program {name!r}: not a benchmark "
@@ -111,10 +131,22 @@ def _report_cache(store) -> None:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
+    benchmarks = None
+    if getattr(args, "imports", None):
+        from .ingest import IngestError
+        from .workloads import benchmark_programs, load_imported
+
+        try:
+            imported = load_imported(args.imports)
+        except IngestError as exc:
+            return _usage_error(f"--import: {exc}")
+        benchmarks = {**benchmark_programs(args.scale), **imported}
+        for name in imported:
+            print(f"imported workload: {name}", file=sys.stderr)
     with _session_from(args) as session:
         try:
             runs = session.run_suite(
-                scale=args.scale,
+                scale=args.scale, benchmarks=benchmarks,
                 progress=lambda b: print(f"running {b} ...",
                                          file=sys.stderr))
         except Exception as exc:  # noqa: BLE001 - --strict fail-fast exit
@@ -518,6 +550,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         prog = compile_proposed(
             prog, heur=replace(DEFAULT_HEURISTICS,
                                spectre_safe=True)).program
+    elif scheme == "melded":
+        from dataclasses import replace
+
+        from .core.heuristics import DEFAULT_HEURISTICS
+
+        prog = compile_proposed(
+            prog, heur=replace(DEFAULT_HEURISTICS,
+                               enable_meld=True)).program
     elif scheme == "baseline":
         prog = compile_baseline(prog).program
     # scheme == "raw": simulate the program untouched
@@ -546,6 +586,43 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         print(heat_report(observer.pc_samples, prog))
     return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Import/lower external programs; check or refresh their goldens."""
+    from .ingest import (IngestError, check_fixture, expand_fixtures,
+                         import_path, update_fixture)
+
+    files = expand_fixtures(args.paths)
+    if not files:
+        return _usage_error("no import files found (expected .bril or "
+                            ".trace.jsonl files, or a directory of them)")
+    problems: list[str] = []
+    for f in files:
+        try:
+            if args.update_goldens:
+                written = update_fixture(f, stats=not args.no_stats,
+                                         max_steps=args.max_steps)
+                print(f"{f}: wrote "
+                      + ", ".join(w.name for w in written))
+            elif args.check:
+                drift = check_fixture(f)
+                problems.extend(drift)
+                print(f"{f}: {'ok' if not drift else 'DRIFT'}")
+            else:
+                prog = import_path(f)
+                print(f"{f}: imported as {prog.name} "
+                      f"({len(prog)} instructions)")
+                if args.emit:
+                    print(format_program(prog))
+        except IngestError as exc:
+            problems.append(f"{f}: {exc}")
+            print(f"{f}: FAILED\n    {exc}", file=sys.stderr)
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    print(f"ingest: {len(files)} file(s), "
+          f"{'all ok' if not problems else f'{len(problems)} problem(s)'}")
+    return 1 if problems else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -626,6 +703,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="fail fast: abort (exit nonzero) on the first "
                         "failed benchmark/scheme cell instead of rendering "
                         "FAIL cells")
+    p.add_argument("--import", action="append", dest="imports",
+                   metavar="FILE",
+                   help="also evaluate this imported workload (.bril "
+                        "source or .trace.jsonl trace, repeatable; see "
+                        "docs/INGEST.md)")
     _engine_flags(p)
     p.set_defaults(func=cmd_tables)
 
@@ -853,6 +935,27 @@ def main(argv: list[str] | None = None) -> int:
                         "or $REPRO_CACHE_DIR)")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "ingest",
+        help="import external programs as workloads (docs/INGEST.md)")
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help=".bril source, .trace.jsonl trace, or a directory "
+                        "of fixtures (bad_* files are skipped)")
+    p.add_argument("--check", action="store_true",
+                   help="replay each file against its committed .golden.s "
+                        "and exit nonzero on drift (the CI gate)")
+    p.add_argument("--update-goldens", action="store_true",
+                   help="(re)write each file's .golden.s and .stats.json")
+    p.add_argument("--no-stats", action="store_true",
+                   help="with --update-goldens: skip the (slower) "
+                        "six-scheme .stats.json golden")
+    p.add_argument("--emit", action="store_true",
+                   help="print the lowered assembly of each file")
+    p.add_argument("--max-steps", type=int, default=200_000,
+                   help="step budget for .stats.json goldens "
+                        "(default 200000)")
+    p.set_defaults(func=cmd_ingest)
+
     p = sub.add_parser("run", help="simulate a program")
     p.add_argument("program", help="benchmark name or .s file")
     p.add_argument("--scale", type=float, default=1.0)
@@ -860,10 +963,12 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["twobit", "twolevel", "perfect", "static-taken"])
     p.add_argument("--scheme", default=None,
                    choices=["raw", "baseline", "proposed",
-                            "safe-speculative"],
+                            "safe-speculative", "melded"],
                    help="compilation scheme before simulating "
                         "(safe-speculative = proposed with Spectre-flagged "
-                        "hoists fenced; default baseline)")
+                        "hoists fenced; melded = proposed with if-converted "
+                        "diamonds flattened into cmov selects; "
+                        "default baseline)")
     p.add_argument("--proposed", action="store_true",
                    help="compile with the proposed pipeline first "
                         "(same as --scheme proposed)")

@@ -76,6 +76,14 @@ class FeedbackHeuristics:
     #: minimum estimated cycle gain before a transform is applied
     min_gain: float = 0.0
 
+    # Branch-melding knobs (the melded scheme; see repro.transform.meld).
+    #: replace if-conversion with branch melding: both diamond arms run
+    #: unconditionally into scratch registers and native conditional
+    #: moves (cmovt/cmovf) select the surviving values — no guarded ops
+    enable_meld: bool = False
+    #: largest arm (non-control instructions) the melder will flatten
+    meld_max_arm_ops: int = 4
+
     # Region-scheduler knobs.
     speculation_bias: float = 0.65
     max_moves_per_block: int = 4
@@ -113,6 +121,7 @@ TUNABLE_PARAMS: dict[str, ParamBound] = {
     "guard_dependence_penalty": ParamBound(0.0, 2.0),
     "split_overhead_per_iter": ParamBound(0.25, 2.0),
     "min_executions": ParamBound(4, 64, "int"),
+    "meld_max_arm_ops": ParamBound(1, 8, "int"),
     "min_gain": ParamBound(0.0, 8.0),
     "speculation_bias": ParamBound(0.50, 0.95),
     "max_moves_per_block": ParamBound(1, 8, "int"),

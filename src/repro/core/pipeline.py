@@ -46,6 +46,7 @@ from ..transform.branch_likely import LikelyReport, apply_branch_likely
 from ..transform.branch_split import SplitNotApplicable, split_from_profile
 from ..transform.dce import eliminate_dead_code
 from ..transform.ifconvert import if_convert_diamond
+from ..transform.meld import meld_diamond
 from .algorithm import DecisionPlan, decide
 from .heuristics import DEFAULT_HEURISTICS, FeedbackHeuristics
 from .serde import check as serde_check, stamp as serde_stamp
@@ -59,6 +60,7 @@ class CompileResult:
     plan: Optional[DecisionPlan] = None
     splits_applied: int = 0
     ifconverts_applied: int = 0
+    melds_applied: int = 0
     likely_report: Optional[LikelyReport] = None
     region_report: Optional[RegionReport] = None
     profile: Optional[ProfileDB] = None
@@ -82,6 +84,8 @@ class CompileResult:
             lines.append(self.plan.summary())
         lines.append(f"  splits applied:      {self.splits_applied}")
         lines.append(f"  if-conversions:      {self.ifconverts_applied}")
+        if self.melds_applied:
+            lines.append(f"  branches melded:     {self.melds_applied}")
         if self.likely_report is not None:
             lines.append(f"  branch-likelies:     {self.likely_report.converted}")
         if self.region_report is not None:
@@ -109,6 +113,7 @@ class CompileResult:
             "plan": self.plan.to_dict() if self.plan is not None else None,
             "splits_applied": self.splits_applied,
             "ifconverts_applied": self.ifconverts_applied,
+            "melds_applied": self.melds_applied,
             "likely_report": (self.likely_report.to_dict()
                               if self.likely_report is not None else None),
             "region_report": (self.region_report.to_dict()
@@ -128,6 +133,7 @@ class CompileResult:
                   if d["plan"] is not None else None),
             splits_applied=d["splits_applied"],
             ifconverts_applied=d["ifconverts_applied"],
+            melds_applied=d.get("melds_applied", 0),
             likely_report=(LikelyReport.from_dict(d["likely_report"])
                            if d["likely_report"] is not None else None),
             region_report=(RegionReport.from_dict(d["region_report"])
@@ -259,9 +265,20 @@ def _compile_proposed_inner(prog: Program, heur: FeedbackHeuristics,
     if result.splits_applied:
         forest = LoopForest(cfg)
 
-    # 2. If-conversion (guarded execution).
+    # 2. If-conversion (guarded execution) — or, under the melded scheme,
+    #    branch melding: the same Figure 6 "ifconvert" decisions are
+    #    consumed, but the diamond is flattened into an unconditional
+    #    select sequence (repro.transform.meld) instead of guarded ops.
     for d in plan.by_action("ifconvert"):
         if d.block not in cfg._by_id:
+            continue
+        if heur.enable_meld:
+            melded = box.run(
+                f"meld@bb{d.block}",
+                lambda d=d: meld_diamond(cfg, d.block,
+                                         max_arm_ops=heur.meld_max_arm_ops))
+            if melded is not None:
+                result.melds_applied += 1
             continue
         converted = box.run(f"ifconvert@bb{d.block}",
                             lambda d=d: if_convert_diamond(cfg, d.block))
@@ -321,17 +338,19 @@ def _compile_proposed_inner(prog: Program, heur: FeedbackHeuristics,
 
 def compile_variant(prog: Program, *, likely: bool = True, split: bool = True,
                     ifconvert: bool = True, speculation: bool = True,
-                    spectre: bool = False,
+                    spectre: bool = False, meld: bool = False,
                     heur: FeedbackHeuristics = DEFAULT_HEURISTICS,
                     **kw) -> CompileResult:
     """Ablation helper: the proposed pipeline with features toggled.
 
     ``spectre=True`` additionally arms the speculative-safety guard
     (the safe-speculative scheme; see :mod:`repro.robust.spectre`).
+    ``meld=True`` replaces if-conversion with branch melding (the melded
+    scheme; see :mod:`repro.transform.meld`).
     """
     from dataclasses import replace
 
     heur = replace(heur, enable_likely=likely, enable_split=split,
                    enable_ifconvert=ifconvert, enable_speculation=speculation,
-                   spectre_safe=spectre)
+                   spectre_safe=spectre, enable_meld=meld)
     return compile_proposed(prog, heur=heur, **kw)

@@ -27,7 +27,9 @@ from typing import Any, Sequence
 #: compile-result region report, SpectreFinding payloads.
 #: v3: SchemeResult/BenchmarkRun payloads carry the execution backend
 #: that produced them (repro.fastsim; engine keys v4, serve protocol v2).
-SCHEMA_VERSION = 3
+#: v4: ``melds_applied`` in CompileResult payloads and the melded scheme
+#: in suite records (engine keys v5, serve protocol v3).
+SCHEMA_VERSION = 4
 
 #: The key carrying the version inside every payload.
 VERSION_KEY = "schema_version"

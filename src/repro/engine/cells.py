@@ -43,13 +43,16 @@ from ..sim.pipeline import TimingSim
 from ..sim.stats import SimStats
 
 #: The paper's three schemes — plus the speculative-safety variant of the
-#: proposed one (PR 6) — as (scheme, pipeline kind, predictor) rows: the
-#: canonical plan the suite, cache keys, and workers all share.
+#: proposed one (PR 6) and the branch-melding variant (``melded``: arms
+#: flattened into native conditional-move selects, repro.transform.meld)
+#: — as (scheme, pipeline kind, predictor) rows: the canonical plan the
+#: suite, cache keys, and workers all share.
 SCHEME_PLAN = (
     ("2bitBP", "base", "twobit"),
     ("Proposed", "prop", "twobit"),
     ("PerfectBP", "base", "perfect"),
     ("safe-speculative", "safe", "twobit"),
+    ("melded", "meld", "twobit"),
 )
 
 #: Per-cell retry count before a failure is recorded (transient faults).
@@ -85,7 +88,7 @@ class CellSpec:
 
     benchmark: str
     scheme: str
-    kind: str                      # "base" | "prop" | "safe"
+    kind: str                      # "base" | "prop" | "safe" | "meld"
     predictor: str                 # "twobit" | "perfect" | ...
     program: dict                  # Program.to_dict() payload
     heur: FeedbackHeuristics = DEFAULT_HEURISTICS
@@ -111,10 +114,12 @@ def counted_compile(kind: str, prog: Program, heur: FeedbackHeuristics,
     """Compile *prog* for a pipeline *kind*, incrementing the counter.
 
     Kind ``"safe"`` is the proposed pipeline with the speculative-safety
-    guard forced on (the safe-speculative scheme); it shares nothing with
-    the ``"prop"`` compile memo because the guard changes the emitted code.
-    ``backend="fast"`` runs the profiling pass of proposed-pipeline
-    compiles on the generated-step executor (byte-identical profiles).
+    guard forced on (the safe-speculative scheme); kind ``"meld"`` forces
+    branch melding in place of if-conversion (the melded scheme).  Each
+    shares nothing with the ``"prop"`` compile memo because the toggle
+    changes the emitted code.  ``backend="fast"`` runs the profiling pass
+    of proposed-pipeline compiles on the generated-step executor
+    (byte-identical profiles).
     """
     COUNTERS.compiles += 1
     REGISTRY.inc("engine.compiles")
@@ -122,6 +127,8 @@ def counted_compile(kind: str, prog: Program, heur: FeedbackHeuristics,
         return compile_baseline(prog)
     if kind == "safe":
         heur = replace(heur, spectre_safe=True)
+    elif kind == "meld":
+        heur = replace(heur, enable_meld=True)
     return compile_proposed(prog, heur=heur, max_steps=max_steps,
                             backend=backend)
 

@@ -40,7 +40,10 @@ from ..sim.config import MachineConfig
 #: v4: cell keys carry the execution-backend identifier, so a result
 #: computed on one backend is never served to a request for the other
 #: (serde v3, serve protocol v2 — bumped in lockstep).
-SCHEMA_VERSION = 4
+#: v5: the melded scheme — meld knobs on FeedbackHeuristics (folded into
+#: keys via canonical()), melds_applied in CompileResult payloads
+#: (serde v4, serve protocol v3 — bumped in lockstep).
+SCHEMA_VERSION = 5
 
 
 def canonical(obj: Any) -> Any:

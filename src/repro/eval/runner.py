@@ -47,9 +47,11 @@ from ..sim.stats import SimStats
 from ..workloads import benchmark_programs
 
 #: Scheme names in the paper's column order, plus the speculative-safety
-#: variant (``safe-speculative``): the Proposed pipeline with every
-#: Spectre-flagged hoist fenced (see :mod:`repro.robust.spectre`).
-SCHEMES = ("2bitBP", "Proposed", "PerfectBP", "safe-speculative")
+#: variant (``safe-speculative``: the Proposed pipeline with every
+#: Spectre-flagged hoist fenced, see :mod:`repro.robust.spectre`) and the
+#: branch-melding variant (``melded``: if-conversion decisions flattened
+#: into native conditional-move selects, see :mod:`repro.transform.meld`).
+SCHEMES = ("2bitBP", "Proposed", "PerfectBP", "safe-speculative", "melded")
 
 #: Per-cell retry count before a failure is recorded (transient faults).
 CELL_RETRIES = 1
@@ -228,6 +230,10 @@ def run_benchmark_impl(name: str, prog: Program,
                 compiles[kind] = compile_proposed(
                     prog, heur=replace(heur, spectre_safe=True),
                     max_steps=max_steps, backend=backend)
+            elif kind == "meld":
+                compiles[kind] = compile_proposed(
+                    prog, heur=replace(heur, enable_meld=True),
+                    max_steps=max_steps, backend=backend)
             else:
                 compiles[kind] = compile_proposed(prog, heur=heur,
                                                   max_steps=max_steps,
@@ -243,7 +249,8 @@ def run_benchmark_impl(name: str, prog: Program,
     for scheme, kind, predictor in (("2bitBP", "base", "twobit"),
                                     ("Proposed", "prop", "twobit"),
                                     ("PerfectBP", "base", "perfect"),
-                                    ("safe-speculative", "safe", "twobit")):
+                                    ("safe-speculative", "safe", "twobit"),
+                                    ("melded", "meld", "twobit")):
         run.results[scheme] = _run_cell(
             name, scheme,
             lambda s=scheme, k=kind, p=predictor: _cell(s, k, p),

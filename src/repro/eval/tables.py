@@ -202,11 +202,12 @@ def format_table4(runs: Mapping[str, BenchmarkRun]) -> str:
 
 def format_improvements(runs: Mapping[str, BenchmarkRun]) -> str:
     """Headline summary: Proposed/2bitBP, PerfectBP/2bitBP and (when the
-    scheme ran) safe-speculative/2bitBP IPC ratios — the last one is the
-    safety cost of fencing Spectre-flagged hoists."""
+    schemes ran) safe-speculative/2bitBP and melded/2bitBP IPC ratios —
+    the safety cost of fencing Spectre-flagged hoists and the throughput
+    of replacing guarded execution with conditional-move melding."""
     lines = ["IPC improvement over the 2-bit baseline",
              f"{'Benchmark':<12} {'Proposed':>10} {'Perfect':>10}"
-             f" {'Safe':>10}"]
+             f" {'Safe':>10} {'Melded':>10}"]
     ratios = []
     failed = 0
     for name in _ordered(runs):
@@ -221,8 +222,12 @@ def format_improvements(runs: Mapping[str, BenchmarkRun]) -> str:
         safe = r.results.get("safe-speculative")
         safe_txt = (f" {safe.stats.ipc / r['2bitBP'].stats.ipc:>9.2f}x"
                     if safe is not None and safe.ok else f" {'-':>10}")
+        meld = r.results.get("melded")
+        meld_txt = (f" {meld.stats.ipc / r['2bitBP'].stats.ipc:>9.2f}x"
+                    if meld is not None and meld.ok else f" {'-':>10}")
         ratios.append(prop)
-        lines.append(f"{name:<12} {prop:>9.2f}x {perf:>9.2f}x{safe_txt}")
+        lines.append(f"{name:<12} {prop:>9.2f}x {perf:>9.2f}x{safe_txt}"
+                     f"{meld_txt}")
     if ratios:
         lines.append(f"{'geo-mean':<12} "
                      f"{(_geomean(ratios)):>9.2f}x"

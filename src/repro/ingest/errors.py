@@ -1,0 +1,50 @@
+"""Structured ingest errors: every front-end failure is a located fact.
+
+The import front end is the first part of the system that consumes
+*untrusted* input (third-party sources and traces), so its failure mode is
+part of its API: a malformed input must produce a :class:`IngestError`
+subclass carrying the offending line number and text — never a raw
+traceback from deep inside the lowering machinery.  The adversarial-input
+tests in ``tests/ingest/test_errors.py`` pin exactly this contract,
+mirroring the :class:`repro.isa.parser.ParseError` idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class IngestError(ValueError):
+    """Base class: a located, user-readable import failure."""
+
+    def __init__(self, message: str, lineno: Optional[int] = None,
+                 line: Optional[str] = None):
+        self.message = message
+        self.lineno = lineno
+        self.line = line
+        loc = f"line {lineno}: " if lineno is not None else ""
+        text = f"{loc}{message}"
+        if line:
+            text += f"\n    {line.strip()}"
+        super().__init__(text)
+
+
+class SourceError(IngestError):
+    """The Bril-like source text violated the grammar or its invariants."""
+
+
+class TraceError(IngestError):
+    """A basic-block trace line was malformed or inconsistent."""
+
+
+class LowerError(IngestError):
+    """Lowering produced a program the robust IR verifier rejects."""
+
+
+class RegisterPressureError(LowerError):
+    """The program's variables overflow the allocatable register file."""
+
+    def __init__(self, message: str, variables: int, available: int):
+        self.variables = variables
+        self.available = available
+        super().__init__(message)

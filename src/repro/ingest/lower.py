@@ -1,0 +1,169 @@
+"""Lowering: ingest :class:`Function` → :class:`repro.isa.program.Program`.
+
+The pass is deliberately naive — it is a *front end*, not a compiler; the
+interesting transformations (splitting, guarding, melding, speculation)
+happen downstream in :mod:`repro.core.pipeline` exactly as they do for
+the synthetic workloads.  Lowering rules (see docs/INGEST.md):
+
+* variables get one integer register each, ``r1``..``r26`` in order of
+  first mention; more variables than that raises
+  :class:`RegisterPressureError` (a spiller is out of scope).
+* ``r27`` is the output pointer, initialised to the conventional
+  ``OUT_BASE``; ``print x`` becomes ``sw``-then-bump, so imported
+  programs leave the same memory-resident footprint the synthetic
+  workloads do and the functional simulator diff-checks apply unchanged.
+* block ``.foo`` becomes asm label ``b_foo``; ``br c .t .e`` becomes
+  ``bnez``+``j`` (the ``j`` is elided when ``.e`` is the next block in
+  layout order, so trace-derived hot-path layouts really do fall
+  through); ``ret`` becomes ``halt``.
+
+The emitted text goes through the real :func:`repro.isa.parser.parse` and
+the :mod:`repro.robust` verifier; any violation is re-raised as
+:class:`LowerError` — the front end never hands the engine an unverified
+program.
+
+Cache safety: the program's name embeds a content hash of the import
+source (``name@ab12cd34ef56``).  The engine keys cells by
+``Program.to_dict()`` *and* benchmark name, so two different imported
+files can never alias each other's — or a synthetic workload's — cache
+cells, even if a user names them identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Union
+
+from ..isa.parser import ParseError, parse
+from ..isa.program import Program
+from ..robust.verifier import verify_program
+from ..workloads.common import OUT_BASE
+from .errors import LowerError, RegisterPressureError
+from .model import Function
+from .source import parse_source
+from .trace import parse_trace
+
+#: Registers handed to variables, in allocation order.  r0 is the zero
+#: register, r27 the output pointer, r28 scratch headroom for downstream
+#: transforms, r29-r31 reserved by the ABI (see isa.registers).
+ALLOCATABLE = tuple(f"r{i}" for i in range(1, 27))
+
+#: Compare ops → native set-style compare opcodes.
+_CMP = {"eq": "seq", "ne": "sne", "lt": "slt",
+        "gt": "sgt", "le": "sle", "ge": "sge"}
+
+#: Straight-through three-register arithmetic.
+_ARITH = {"add": "add", "sub": "sub", "mul": "mul", "div": "div",
+          "and": "and", "or": "or"}
+
+
+def allocate_registers(fn: Function) -> dict[str, str]:
+    """Map every variable to a register, first mention first.
+
+    Raises :class:`RegisterPressureError` when the function has more
+    live names than :data:`ALLOCATABLE` registers.
+    """
+    variables = fn.variables()
+    if len(variables) > len(ALLOCATABLE):
+        raise RegisterPressureError(
+            f"function @{fn.name} has {len(variables)} variables but only "
+            f"{len(ALLOCATABLE)} allocatable registers "
+            f"({ALLOCATABLE[0]}..{ALLOCATABLE[-1]}); "
+            f"spilling is not supported",
+            variables=len(variables), available=len(ALLOCATABLE))
+    return dict(zip(variables, ALLOCATABLE))
+
+
+def _asm_label(label: str) -> str:
+    return "b_" + label.lstrip(".")
+
+
+def lower_function(fn: Function) -> str:
+    """Emit assembly text for *fn* (no parsing/verification — see
+    :func:`import_source` for the checked entry point)."""
+    regs = allocate_registers(fn)
+    lines = [f"# lowered from ingest function @{fn.name}",
+             "main:",
+             f"    li r27, {OUT_BASE:#x}"]
+    layout = fn.block_labels()
+    for i, block in enumerate(fn.blocks):
+        nxt = layout[i + 1] if i + 1 < len(layout) else None
+        lines.append(f"{_asm_label(block.label)}:")
+        for op in block.ops:
+            lines.extend("    " + t for t in _lower_op(op, regs, nxt))
+    return "\n".join(lines) + "\n"
+
+
+def _lower_op(op, regs: dict[str, str], next_label: Optional[str]) \
+        -> list[str]:
+    a = [regs[x] for x in op.args]
+    if op.op == "const":
+        return [f"li {regs[op.dest]}, {op.value}"]
+    if op.op == "id":
+        return [f"mov {regs[op.dest]}, {a[0]}"]
+    if op.op == "not":
+        return [f"seq {regs[op.dest]}, {a[0]}, r0"]
+    if op.op in _ARITH:
+        return [f"{_ARITH[op.op]} {regs[op.dest]}, {a[0]}, {a[1]}"]
+    if op.op in _CMP:
+        return [f"{_CMP[op.op]} {regs[op.dest]}, {a[0]}, {a[1]}"]
+    if op.op == "print":
+        return [f"sw {a[0]}, 0(r27)", "addi r27, r27, 4"]
+    if op.op == "jmp":
+        return [f"j {_asm_label(op.labels[0])}"]
+    if op.op == "br":
+        then_l, else_l = op.labels
+        out = [f"bnez {a[0]}, {_asm_label(then_l)}"]
+        if else_l != next_label:
+            out.append(f"j {_asm_label(else_l)}")
+        return out
+    if op.op == "ret":
+        return ["halt"]
+    if op.op == "nop":
+        return ["nop"]
+    raise LowerError(f"no lowering for op {op.op!r}", op.lineno)
+
+
+def _finish(fn: Function, source_text: str) -> Program:
+    """Lower, parse, verify; name embeds the source content hash."""
+    digest = hashlib.sha256(source_text.encode()).hexdigest()[:12]
+    asm = lower_function(fn)
+    try:
+        prog = parse(asm, name=f"{fn.name}@{digest}")
+    except ParseError as exc:  # a lowering bug, surfaced as our error
+        raise LowerError(f"lowered assembly does not parse: {exc}") from exc
+    violations = verify_program(prog)
+    if violations:
+        raise LowerError(
+            "lowered program fails IR verification: "
+            + "; ".join(str(v) for v in violations[:3]))
+    prog.validate()
+    return prog
+
+
+def import_source(text: str) -> Program:
+    """Parse + lower + verify one Bril-like source text."""
+    return _finish(parse_source(text), text)
+
+
+def import_trace(text: str) -> Program:
+    """Parse + lower + verify one JSONL basic-block trace."""
+    return _finish(parse_trace(text), text)
+
+
+#: Recognised file suffixes → front end.
+SUFFIXES = {".bril": import_source, ".trace.jsonl": import_trace,
+            ".jsonl": import_trace}
+
+
+def import_path(path: Union[str, Path]) -> Program:
+    """Import one file, dispatching on its suffix (see :data:`SUFFIXES`)."""
+    p = Path(path)
+    name = p.name
+    for suffix, front in SUFFIXES.items():
+        if name.endswith(suffix):
+            return front(p.read_text())
+    raise LowerError(
+        f"unknown import suffix on {name!r} "
+        f"(expected one of {', '.join(SUFFIXES)})")

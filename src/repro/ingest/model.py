@@ -1,0 +1,98 @@
+"""The ingest mid-level IR: functions of labeled basic blocks.
+
+Both front ends (the Bril-like source parser and the JSONL trace reader)
+produce the same tiny IR — :class:`Function` of :class:`Block` of
+:class:`Op` — which the lowering pass turns into an
+:class:`~repro.isa.program.Program`.  The IR is deliberately minimal: one
+function, int/bool values (bools are 0/1 ints), explicit terminators, no
+fallthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Value-producing ops and their argument counts.
+VALUE_OPS: dict[str, int] = {
+    "const": 0, "id": 1, "not": 1,
+    "add": 2, "sub": 2, "mul": 2, "div": 2,
+    "eq": 2, "ne": 2, "lt": 2, "gt": 2, "le": 2, "ge": 2,
+    "and": 2, "or": 2,
+}
+
+#: Effect ops: argument count and label count.
+EFFECT_OPS: dict[str, tuple[int, int]] = {
+    "jmp": (0, 1), "br": (1, 2), "ret": (0, 0),
+    "print": (1, 0), "nop": (0, 0),
+}
+
+#: Ops that must terminate a block.
+TERMINATORS = ("jmp", "br", "ret")
+
+#: Admissible value types.
+TYPES = ("int", "bool")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One ingest instruction.
+
+    ``lineno`` is provenance, not identity: two ops parsed from different
+    lines still compare equal, which is what the parse → print → parse
+    round-trip property asserts.
+    """
+
+    op: str
+    dest: Optional[str] = None
+    type: Optional[str] = None          # "int" | "bool" (value ops only)
+    args: tuple[str, ...] = ()
+    labels: tuple[str, ...] = ()        # jmp/br targets (with leading dot)
+    value: Optional[int] = None         # const payload (bools are 0/1)
+    lineno: int = field(default=0, compare=False)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+
+@dataclass
+class Block:
+    """A labeled basic block; the last op is always a terminator."""
+
+    label: str                           # with the leading dot: ".loop"
+    ops: list[Op] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Op]:
+        return self.ops[-1] if self.ops and self.ops[-1].is_terminator \
+            else None
+
+
+@dataclass
+class Function:
+    """One imported function; the first block is the entry."""
+
+    name: str
+    blocks: list[Block] = field(default_factory=list)
+
+    def block_labels(self) -> list[str]:
+        return [b.label for b in self.blocks]
+
+    def variables(self) -> list[str]:
+        """Every variable, in order of first mention (defs and uses)."""
+        seen: dict[str, None] = {}
+        for b in self.blocks:
+            for op in b.ops:
+                if op.dest is not None:
+                    seen.setdefault(op.dest, None)
+                for a in op.args:
+                    seen.setdefault(a, None)
+        return list(seen)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Function):
+            return NotImplemented
+        return (self.name == other.name
+                and [(b.label, b.ops) for b in self.blocks]
+                == [(b.label, b.ops) for b in other.blocks])

@@ -1,0 +1,148 @@
+"""Reader for the basic-block trace format (JSONL).
+
+A trace is a line-per-record JSON stream describing a program as the
+blocks it *executed*, in the spirit of a BBV/basic-block-trace dump:
+
+* ``{"kind": "meta", "name": "loopy"}`` — optional, names the program
+  (first line only; default ``"trace"``).
+* ``{"kind": "block", "label": ".loop", "ops": ["c: bool = lt i n",
+  "br c .body .done"]}`` — defines a block; the op strings use exactly
+  the source-format instruction syntax (shared
+  :func:`~repro.ingest.source.parse_op`), last op must be a terminator.
+* ``{"kind": "exec", "label": ".loop", "taken": true}`` — one dynamic
+  execution of a previously *defined* block.  ``taken`` is required for
+  blocks ending in ``br`` (which arm ran) and must be absent/null
+  otherwise.
+
+The exec records matter: block layout in the lowered program follows the
+observed hot path (greedy most-frequent-successor chaining from the
+entry), so a trace where the loop exit is cold lowers with the loop body
+on the fallthrough edge.  Malformed lines raise :class:`TraceError`
+carrying the 1-based line number.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .errors import SourceError, TraceError
+from .model import Block, Function
+from .source import parse_op, validate_function
+
+
+def _require(cond: bool, msg: str, lineno: int, line: str) -> None:
+    if not cond:
+        raise TraceError(msg, lineno, line)
+
+
+def parse_trace(text: str) -> Function:
+    """Parse a JSONL basic-block trace into a hot-path-ordered Function."""
+    name = "trace"
+    blocks: dict[str, Block] = {}
+    order: list[str] = []
+    exec_counts: dict[str, int] = {}
+    succ_counts: dict[tuple[str, str], int] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"not valid JSON: {exc.msg}",
+                             lineno, raw) from None
+        _require(isinstance(rec, dict), "record must be a JSON object",
+                 lineno, raw)
+        kind = rec.get("kind")
+        if kind == "meta":
+            _require(not blocks and not exec_counts,
+                     "meta record must come first", lineno, raw)
+            got = rec.get("name", name)
+            _require(isinstance(got, str) and got.isidentifier(),
+                     f"bad program name {got!r}", lineno, raw)
+            name = got
+        elif kind == "block":
+            label = rec.get("label")
+            _require(isinstance(label, str) and label.startswith("."),
+                     f"bad block label {label!r} (expected .name)",
+                     lineno, raw)
+            _require(label not in blocks,
+                     f"duplicate definition of block {label}", lineno, raw)
+            ops = rec.get("ops")
+            _require(isinstance(ops, list) and ops
+                     and all(isinstance(o, str) for o in ops),
+                     "block needs a non-empty list of op strings",
+                     lineno, raw)
+            try:
+                parsed = [parse_op(o, lineno) for o in ops]
+            except SourceError as exc:
+                raise TraceError(f"bad op in block {label}: {exc.message}",
+                                 lineno, raw) from None
+            _require(parsed[-1].is_terminator,
+                     f"block {label} does not end with a terminator",
+                     lineno, raw)
+            blocks[label] = Block(label=label, ops=parsed)
+            order.append(label)
+        elif kind == "exec":
+            label = rec.get("label")
+            _require(label in blocks,
+                     f"exec of undefined block {label!r}", lineno, raw)
+            term = blocks[label].ops[-1]
+            taken = rec.get("taken")
+            if term.op == "br":
+                _require(isinstance(taken, bool),
+                         f"exec of {label} (ends in br) needs "
+                         f"\"taken\": true|false", lineno, raw)
+                succ = term.labels[0] if taken else term.labels[1]
+            else:
+                _require(taken is None,
+                         f"exec of {label} (ends in {term.op}) must not "
+                         f"carry \"taken\"", lineno, raw)
+                succ = term.labels[0] if term.op == "jmp" else None
+            exec_counts[label] = exec_counts.get(label, 0) + 1
+            if succ is not None:
+                succ_counts[(label, succ)] = \
+                    succ_counts.get((label, succ), 0) + 1
+        else:
+            raise TraceError(f"unknown record kind {kind!r} "
+                             f"(expected meta/block/exec)", lineno, raw)
+
+    if not blocks:
+        raise TraceError("trace defines no blocks")
+    fn = Function(name=name,
+                  blocks=[blocks[lab] for lab in _layout(order, succ_counts)])
+    try:
+        validate_function(fn)
+    except SourceError as exc:
+        raise TraceError(exc.message, exc.lineno, exc.line) from None
+    return fn
+
+
+def _layout(order: list[str], succ_counts: dict[tuple[str, str], int]) \
+        -> list[str]:
+    """Greedy hot-path layout: chain most-frequent successors.
+
+    The entry (first-defined block) stays first; from each placed block
+    the most-executed not-yet-placed successor follows it, so the hot
+    path becomes the fallthrough path.  Blocks the trace never reached
+    are appended in definition order.
+    """
+    placed: dict[str, None] = {}
+    cursor = order[0]
+    placed[cursor] = None
+    while True:
+        succs = [(count, dst) for (src, dst), count in succ_counts.items()
+                 if src == cursor and dst not in placed]
+        if not succs:
+            rest = [lab for lab in order if lab not in placed]
+            if not rest:
+                break
+            cursor = rest[0]
+        else:
+            # Highest count wins; ties break toward definition order.
+            best = max(count for count, _ in succs)
+            cursor = min((dst for count, dst in succs if count == best),
+                         key=order.index)
+        placed[cursor] = None
+    return list(placed)

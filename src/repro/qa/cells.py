@@ -41,6 +41,10 @@ FUZZ_SCHEMES: tuple[tuple[str, Optional[dict]], ...] = (
     # speculation behind the Spectre hoist guard: flagged hoists fenced —
     # the certification that fences never change architectural results
     ("safe-speculative", {"ifconvert": False, "spectre": True}),
+    # branch melding in place of guarding: both arms run unconditionally
+    # into scratch registers, native cmovt/cmovf select the results —
+    # renaming plus selects must preserve architectural state exactly
+    ("melded", {"split": False, "speculation": False, "meld": True}),
 )
 
 #: Default per-run functional step budget (campaign programs are tiny).

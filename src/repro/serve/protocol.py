@@ -39,7 +39,11 @@ from ..profilefb.classify import ClassifyConfig
 #: request/response shapes; mismatched peers refuse each other.
 #: v2: cell-spec payloads carry the execution backend (repro.fastsim;
 #: engine keys v4, result serde v3 — bumped in lockstep).
-PROTOCOL_VERSION = 2
+#: v3: the melded scheme — heuristics payloads may carry the meld knobs
+#: and cell specs the ``"meld"`` kind (engine keys v5, result serde v4;
+#: legacy heuristics payloads without the knobs still decode, taking the
+#: defaults).
+PROTOCOL_VERSION = 3
 
 #: Accepted ``kind`` values of a submitted job.
 JOB_KINDS = ("cells", "fuzz")

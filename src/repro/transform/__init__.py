@@ -11,6 +11,7 @@ from .ifconvert import (
     IfConvertResult, branch_condition_to_cc, find_diamond, if_convert_diamond,
     lower_guards,
 )
+from .meld import MeldResult, meld_diamond
 from .branch_likely import LikelyReport, apply_branch_likely, negate_branch
 from .branch_split import (
     SplitNotApplicable, SplitReport, ensure_preheader, insert_counter,
@@ -36,6 +37,7 @@ __all__ = [
     "speculate_from_successor",
     "IfConvertResult", "branch_condition_to_cc", "find_diamond",
     "if_convert_diamond", "lower_guards",
+    "MeldResult", "meld_diamond",
     "LikelyReport", "apply_branch_likely", "negate_branch",
     "SplitNotApplicable", "SplitReport", "ensure_preheader", "insert_counter",
     "split_branch", "split_branch_inline", "split_branch_sectioned",

@@ -10,6 +10,7 @@ from .espresso import espresso_program, espresso_reference, espresso_source
 from .xlisp import xlisp_program, xlisp_reference, xlisp_source
 from .grep import grep_program, grep_reference, grep_source
 from .synth import biased_loop_program, phased_loop_program
+from .imported import load_imported
 
 #: The paper's benchmark suite, name -> default-scale program factory.
 BENCHMARKS = {
@@ -64,5 +65,6 @@ __all__ = [
     "xlisp_program", "xlisp_reference", "xlisp_source",
     "grep_program", "grep_reference", "grep_source",
     "biased_loop_program", "phased_loop_program",
+    "load_imported",
     "BENCHMARKS", "benchmark_programs",
 ]

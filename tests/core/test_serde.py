@@ -74,5 +74,5 @@ def test_engine_cache_envelope_bumped_with_serde():
     # payload bump since must have carried the envelope with it.
     from repro.engine.keys import SCHEMA_VERSION as ENVELOPE_VERSION
 
-    assert serde.SCHEMA_VERSION == 3
+    assert serde.SCHEMA_VERSION == 4
     assert ENVELOPE_VERSION >= serde.SCHEMA_VERSION + 1

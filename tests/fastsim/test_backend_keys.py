@@ -11,8 +11,8 @@ These tests pin the fix:
   reference unchanged semantics via the default),
 * the serve protocol round-trips the backend and decodes legacy
   payloads (no ``backend`` field) as ``"reference"``,
-* the three version numbers moved in lockstep (engine key schema 4,
-  serde payload schema 3, serve protocol 2),
+* the three version numbers moved in lockstep (engine key schema 5,
+  serde payload schema 4, serve protocol 3 since the melded scheme),
 * while the *payloads* under the distinct keys stay byte-identical —
   distinct keys are a safety property, not a result difference.
 """
@@ -49,11 +49,41 @@ def test_cell_keys_distinct_per_backend(prog):
 
 
 def test_version_lockstep():
-    # ISSUE 8 bumped all three in the same change; a future bump of one
-    # without the others reopens the poisoning hole.
-    assert SCHEMA_VERSION == 4      # engine cell-key/envelope schema
-    assert serde.SCHEMA_VERSION == 3  # result payload schema
-    assert PROTOCOL_VERSION == 2    # serve wire protocol
+    # The melded scheme (ISSUE 10) bumped all three in the same change,
+    # exactly as the backend layer (ISSUE 8) did before it; a future bump
+    # of one without the others reopens the poisoning hole.
+    assert SCHEMA_VERSION == 5      # engine cell-key/envelope schema
+    assert serde.SCHEMA_VERSION == 4  # result payload schema
+    assert PROTOCOL_VERSION == 3    # serve wire protocol
+
+
+def test_legacy_heuristics_payload_still_decodes():
+    # A pre-melding client never sent the meld knobs; the codec must
+    # decode such payloads with the defaults (meld off) instead of
+    # rejecting them — only *unknown* fields are protocol errors.
+    from repro.serve.protocol import heur_from_payload, heur_to_payload
+
+    payload = heur_to_payload(DEFAULT_HEURISTICS)
+    del payload["enable_meld"]
+    del payload["meld_max_arm_ops"]
+    decoded = heur_from_payload(payload)
+    assert decoded.enable_meld is False
+    assert decoded.meld_max_arm_ops == \
+        DEFAULT_HEURISTICS.meld_max_arm_ops
+    assert decoded == DEFAULT_HEURISTICS
+
+
+def test_meld_knobs_change_cell_keys(prog):
+    # enable_meld is a compile-changing knob: it must key distinctly so
+    # melded cells can never alias Proposed cells.
+    from dataclasses import replace
+
+    cfg = r10k_config("twobit")
+    base = cell_key(prog, "Proposed", DEFAULT_HEURISTICS, cfg, 1000)
+    meld = cell_key(prog, "Proposed",
+                    replace(DEFAULT_HEURISTICS, enable_meld=True),
+                    cfg, 1000)
+    assert base != meld
 
 
 def test_protocol_round_trips_backend(prog):

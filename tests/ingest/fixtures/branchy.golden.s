@@ -1,0 +1,33 @@
+# branchy@e0e8b317af52
+main:
+    li r27, 2097152
+b_init:
+    li r1, 0
+    li r2, 1
+    li r3, 8
+    li r4, 0
+    li r5, 5
+    li r6, 3
+    j b_chk
+b_chk:
+    slt r7, r1, r3
+    bnez r7, b_body
+    j b_end
+b_body:
+    sgt r8, r5, r6
+    bnez r8, b_hi
+b_lo:
+    sub r4, r4, r2
+    j b_join
+b_join:
+    sub r5, r5, r2
+    add r1, r1, r2
+    j b_chk
+b_hi:
+    add r4, r4, r5
+    j b_join
+b_end:
+    sw r4, 0(r27)
+    addi r27, r27, 4
+    halt
+

@@ -1,0 +1,36 @@
+# collatz@c57f88ea5776
+main:
+    li r27, 2097152
+b_entry:
+    li r1, 27
+    li r2, 0
+    li r3, 1
+    li r4, 2
+    li r5, 3
+    li r6, 0
+    j b_check
+b_check:
+    seq r7, r1, r3
+    bnez r7, b_out
+b_step:
+    div r8, r1, r4
+    mul r9, r8, r4
+    sub r10, r1, r9
+    sne r11, r10, r2
+    bnez r11, b_odd
+    j b_even
+b_odd:
+    mul r12, r1, r5
+    add r1, r12, r3
+    j b_bump
+b_even:
+    mov r1, r8
+    j b_bump
+b_bump:
+    add r6, r6, r3
+    j b_check
+b_out:
+    sw r6, 0(r27)
+    addi r27, r27, 4
+    halt
+

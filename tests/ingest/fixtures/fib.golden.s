@@ -1,0 +1,25 @@
+# fib@48844181a984
+main:
+    li r27, 2097152
+b_entry:
+    li r1, 0
+    li r2, 1
+    li r3, 0
+    li r4, 15
+    li r5, 1
+    j b_loop
+b_loop:
+    slt r6, r3, r4
+    bnez r6, b_body
+    j b_done
+b_body:
+    add r7, r1, r2
+    mov r1, r2
+    mov r2, r7
+    add r3, r3, r5
+    j b_loop
+b_done:
+    sw r1, 0(r27)
+    addi r27, r27, 4
+    halt
+

@@ -1,0 +1,25 @@
+# gcd@9dc086acbd35
+main:
+    li r27, 2097152
+b_entry:
+    li r1, 1071
+    li r2, 462
+    j b_check
+b_check:
+    seq r3, r1, r2
+    bnez r3, b_out
+b_body:
+    sgt r4, r1, r2
+    bnez r4, b_cuta
+    j b_cutb
+b_cuta:
+    sub r1, r1, r2
+    j b_check
+b_cutb:
+    sub r2, r2, r1
+    j b_check
+b_out:
+    sw r1, 0(r27)
+    addi r27, r27, 4
+    halt
+

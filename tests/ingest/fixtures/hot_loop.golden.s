@@ -1,0 +1,20 @@
+# hotcold@6fa8e4ac140d
+main:
+    li r27, 2097152
+b_top:
+    li r1, 0
+    li r2, 1
+    li r3, 5
+    j b_chk
+b_chk:
+    slt r4, r1, r3
+    bnez r4, b_hot
+    j b_cold
+b_hot:
+    add r1, r1, r2
+    j b_chk
+b_cold:
+    sw r1, 0(r27)
+    addi r27, r27, 4
+    halt
+

@@ -1,0 +1,35 @@
+# lcg_max@edab9c73890e
+main:
+    li r27, 2097152
+b_entry:
+    li r1, 12345
+    li r2, 1103515245
+    li r3, 12345
+    li r4, 255
+    li r5, 0
+    li r6, 0
+    li r7, 32
+    li r8, 1
+    j b_loop
+b_loop:
+    slt r9, r6, r7
+    bnez r9, b_body
+    j b_done
+b_body:
+    mul r10, r1, r2
+    add r1, r10, r3
+    and r11, r1, r4
+    sgt r12, r11, r5
+    bnez r12, b_upd
+    j b_next
+b_upd:
+    mov r5, r11
+    j b_next
+b_next:
+    add r6, r6, r8
+    j b_loop
+b_done:
+    sw r5, 0(r27)
+    addi r27, r27, 4
+    halt
+

@@ -1,0 +1,38 @@
+# parity@81a36783dbd0
+main:
+    li r27, 2097152
+b_entry:
+    li r1, 7
+    li r2, 1103515245
+    li r3, 12345
+    li r4, 2
+    li r5, 0
+    li r6, 1
+    li r7, 0
+    li r8, 0
+    li r9, 24
+    j b_loop
+b_loop:
+    slt r10, r8, r9
+    bnez r10, b_body
+    j b_done
+b_body:
+    mul r11, r1, r2
+    add r1, r11, r3
+    div r12, r1, r4
+    mul r13, r12, r4
+    sub r14, r1, r13
+    sne r15, r14, r5
+    bnez r15, b_odd
+    j b_next
+b_odd:
+    add r7, r7, r6
+    j b_next
+b_next:
+    add r8, r8, r6
+    j b_loop
+b_done:
+    sw r7, 0(r27)
+    addi r27, r27, 4
+    halt
+

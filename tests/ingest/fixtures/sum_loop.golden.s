@@ -1,0 +1,22 @@
+# main@711ce4237733
+main:
+    li r27, 2097152
+b_entry:
+    li r1, 10
+    li r2, 0
+    li r3, 1
+    li r4, 0
+    j b_loop
+b_loop:
+    slt r5, r2, r1
+    bnez r5, b_body
+    j b_done
+b_body:
+    add r4, r4, r2
+    add r2, r2, r3
+    j b_loop
+b_done:
+    sw r4, 0(r27)
+    addi r27, r27, 4
+    halt
+

@@ -1,0 +1,114 @@
+"""CLI surface of the import path (in-process, same idiom as
+tests/test_cli.py): ``repro ingest`` check/update/emit modes, ``tables
+--import``, and imported files as program arguments everywhere."""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_ingest_lists_imports(capsys):
+    assert main(["ingest", str(FIXTURES / "gcd.bril")]) == 0
+    out = capsys.readouterr().out
+    assert "imported as gcd@" in out
+    assert "all ok" in out
+
+
+def test_ingest_emit_prints_assembly(capsys):
+    assert main(["ingest", str(FIXTURES / "fib.bril"), "--emit"]) == 0
+    out = capsys.readouterr().out
+    assert "halt" in out
+    assert "b_loop:" in out
+
+
+def test_ingest_check_replays_committed_goldens(capsys):
+    # The CI gate: the committed corpus must replay clean, bad_* skipped.
+    assert main(["ingest", str(FIXTURES), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "DRIFT" not in out
+    assert "bad_" not in out
+
+
+def test_ingest_check_detects_drift(tmp_path, capsys):
+    src = tmp_path / "gcd.bril"
+    shutil.copy(FIXTURES / "gcd.bril", src)
+    shutil.copy(FIXTURES / "gcd.golden.s", tmp_path / "gcd.golden.s")
+    src.write_text(src.read_text().replace("const 462", "const 463"))
+    assert main(["ingest", str(src), "--check"]) == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+
+def test_ingest_check_missing_golden_fails(tmp_path, capsys):
+    src = tmp_path / "gcd.bril"
+    shutil.copy(FIXTURES / "gcd.bril", src)
+    assert main(["ingest", str(src), "--check"]) == 1
+    assert "golden missing" in capsys.readouterr().err
+
+
+def test_ingest_update_goldens_round_trips(tmp_path, capsys):
+    src = tmp_path / "sum.bril"
+    shutil.copy(FIXTURES / "sum_loop.bril", src)
+    assert main(["ingest", str(src), "--update-goldens",
+                 "--no-stats"]) == 0
+    assert (tmp_path / "sum.golden.s").exists()
+    assert main(["ingest", str(src), "--check"]) == 0
+
+
+def test_ingest_bad_file_exits_nonzero(capsys):
+    assert main(["ingest", str(FIXTURES / "bad_unknown_op.bril")]) == 1
+    err = capsys.readouterr().err
+    assert "FAILED" in err
+    assert "unknown value op" in err
+    assert "Traceback" not in err
+
+
+def test_ingest_no_files_is_usage_error(tmp_path, capsys):
+    assert main(["ingest", str(tmp_path)]) == 2
+    assert "no import files" in capsys.readouterr().err
+
+
+def test_run_accepts_imported_file(capsys):
+    assert main(["run", str(FIXTURES / "fib.bril")]) == 0
+    out = capsys.readouterr().out
+    assert "fib@" in out
+    assert "IPC" in out
+
+
+def test_run_scheme_melded(capsys):
+    assert main(["run", str(FIXTURES / "parity.bril"),
+                 "--scheme", "melded"]) == 0
+    assert "IPC" in capsys.readouterr().out
+
+
+def test_profile_accepts_imported_trace(capsys):
+    assert main(["profile", str(FIXTURES / "hot_loop.trace.jsonl")]) == 0
+    assert "freq=" in capsys.readouterr().out
+
+
+def test_run_rejects_broken_import(tmp_path):
+    bad = tmp_path / "broken.bril"
+    bad.write_text("@main {\n.a:\n  x: int = oops 1;\n  ret;\n}\n")
+    with pytest.raises(SystemExit, match="cannot import"):
+        main(["run", str(bad)])
+
+
+def test_tables_import_runs_all_schemes(capsys):
+    # Acceptance criterion: an imported workload end-to-end through
+    # `repro tables` under all six schemes.
+    assert main(["tables", "--scale", "0.05", "--strict",
+                 "--import", str(FIXTURES / "parity.bril")]) == 0
+    captured = capsys.readouterr()
+    assert "imported workload: parity@" in captured.err
+    assert "parity@" in captured.out
+    assert "Melded" in captured.out  # the sixth scheme column rendered
+
+
+def test_tables_import_rejects_bad_file(capsys):
+    assert main(["tables", "--import",
+                 str(FIXTURES / "bad_unknown_op.bril")]) == 2
+    assert "unknown value op" in capsys.readouterr().err

@@ -1,0 +1,187 @@
+"""Adversarial inputs produce structured errors, never raw tracebacks.
+
+The front end is the first consumer of untrusted input, so its failure
+mode is pinned as API: every malformed source/trace raises the right
+:class:`IngestError` subclass carrying the offending line number — and
+nothing deeper (KeyError, AttributeError, RecursionError...) escapes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import (IngestError, LowerError, RegisterPressureError,
+                          SourceError, TraceError, import_path,
+                          import_source, import_trace, parse_source,
+                          parse_trace)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _wrap(body: str) -> str:
+    return "@main {\n.entry:\n" + body + "  ret;\n}\n"
+
+
+# -- source grammar --------------------------------------------------------
+
+@pytest.mark.parametrize("body,match", [
+    ("  x: int = frobnicate 1;\n", "unknown value op"),
+    ("  launch_missiles;\n", "unknown op"),
+    ("  x: quux = const 1;\n", "unknown type"),
+    ("  x: int = const banana;\n", "bad int literal"),
+    ("  x: bool = const 7;\n", "true/false"),
+    ("  x: int = add;\n", "takes 2 argument"),
+    ("  x: int = const 1 2;\n", "exactly one literal"),
+    ("  x: int = const 1\n", "must end with ';'"),
+    ("  jmp nodot;\n", "bad block label"),
+    ("  br .a .b;\n", "takes 1 argument"),
+    ("  x: int = add y y;\n", "undefined variable"),
+], ids=["unknown-value-op", "unknown-effect-op", "unknown-type",
+        "bad-int-literal", "bad-bool-literal", "arity", "const-arity",
+        "missing-semicolon", "label-syntax",
+        "br-arity", "undefined-variable"])
+def test_source_violations_are_located_errors(body, match):
+    with pytest.raises(SourceError, match=match) as info:
+        parse_source(_wrap(body))
+    assert info.value.lineno == 3  # the injected line, 1-based
+    assert isinstance(info.value, IngestError)
+
+
+@pytest.mark.parametrize("text,match", [
+    ("", "no function found"),
+    ("@main {\n", "missing closing"),
+    ("@main {\n}\n", "has no blocks"),
+    ("@main {\n  x: int = const 1;\n}\n", "start with a block label"),
+    ("@main {\n.a:\n  ret;\n}\nextra\n", "after closing"),
+    ("@main {\n@again {\n", "second function"),
+    ("@main {\n.a:\n  x: int = const 1;\n}\n", "terminator"),
+    ("@main {\n.a:\n  ret;\n.a:\n  ret;\n}\n", "duplicate block label"),
+    ("@main {\n.a:\n  ret;\n  x: int = const 1;\n}\n",
+     "does not end with a terminator"),
+    ("@main {\n.a:\n  jmp .nowhere;\n}\n", "undefined block label"),
+], ids=["empty", "unclosed", "no-blocks", "body-before-label",
+        "trailing-text", "nested-function", "missing-terminator",
+        "duplicate-label", "ops-after-terminator", "undefined-label"])
+def test_source_structure_violations(text, match):
+    with pytest.raises(SourceError, match=match):
+        parse_source(text)
+
+
+def test_terminator_in_middle_of_block():
+    with pytest.raises(SourceError, match="middle of block"):
+        parse_source("@main {\n.a:\n  ret;\n  nop;\n  ret;\n}\n")
+
+
+# -- committed adversarial fixtures ----------------------------------------
+
+def test_bad_unknown_op_fixture():
+    with pytest.raises(SourceError, match="unknown value op"):
+        import_path(FIXTURES / "bad_unknown_op.bril")
+
+
+def test_bad_noterm_fixture():
+    with pytest.raises(SourceError, match="terminator"):
+        import_path(FIXTURES / "bad_noterm.bril")
+
+
+def test_bad_pressure_fixture_is_structured():
+    with pytest.raises(RegisterPressureError) as info:
+        import_path(FIXTURES / "bad_pressure.bril")
+    err = info.value
+    assert err.variables == 30
+    assert err.available == 26
+    assert isinstance(err, LowerError)  # pressure is a lowering failure
+    assert "spilling is not supported" in str(err)
+
+
+def test_bad_records_trace_every_line_is_rejected():
+    """The malformed-per-line fixture: each line past the valid prefix is
+    bad in its own distinct way, and each is rejected AT ITS LINE."""
+    lines = (FIXTURES / "bad_records.trace.jsonl").read_text().splitlines()
+    prefix, bad = lines[:2], lines[2:]
+    assert len(bad) >= 6
+    for line in bad:
+        text = "\n".join(prefix + [line]) + "\n"
+        with pytest.raises(TraceError) as info:
+            parse_trace(text)
+        assert info.value.lineno == 3, f"line {line!r} not located"
+
+
+# -- trace semantics -------------------------------------------------------
+
+def _rec(**kw) -> str:
+    return json.dumps(kw)
+
+
+def test_trace_exec_before_definition():
+    text = _rec(kind="exec", label=".a") + "\n"
+    with pytest.raises(TraceError, match="undefined block"):
+        parse_trace(text)
+
+
+def test_trace_br_exec_requires_taken():
+    text = "\n".join([
+        _rec(kind="block", label=".a",
+             ops=["c: bool = const true", "br c .a .a"]),
+        _rec(kind="exec", label=".a"),
+    ]) + "\n"
+    with pytest.raises(TraceError, match='needs "taken"'):
+        parse_trace(text)
+
+
+def test_trace_meta_must_come_first():
+    text = "\n".join([
+        _rec(kind="block", label=".a", ops=["ret"]),
+        _rec(kind="meta", name="late"),
+    ]) + "\n"
+    with pytest.raises(TraceError, match="must come first"):
+        parse_trace(text)
+
+
+def test_trace_empty_is_an_error():
+    with pytest.raises(TraceError, match="defines no blocks"):
+        parse_trace("")
+
+
+def test_trace_undefined_jmp_target_is_trace_error():
+    text = _rec(kind="block", label=".a", ops=["jmp .gone"]) + "\n"
+    with pytest.raises(TraceError, match="undefined block label"):
+        parse_trace(text)
+
+
+# -- no tracebacks escape --------------------------------------------------
+
+@pytest.mark.parametrize("junk", [
+    "\x00\x01\x02", "@", "@main { .a: ret; }", "{}", "[1,2,3]",
+    "@main {\n.a:\n  :::;\n}\n", "@main {\n.a:\n  x: int = = =;\n}\n",
+])
+def test_source_junk_never_escapes_ingest_error(junk):
+    with pytest.raises(IngestError):
+        import_source(junk)
+
+
+@pytest.mark.parametrize("junk", [
+    "null", "42", '"string"', '{"kind": []}', "{",
+    '{"kind": "block"}', '{"kind": "block", "label": ".a", "ops": []}',
+    '{"kind": "block", "label": ".a", "ops": [42]}',
+])
+def test_trace_junk_never_escapes_ingest_error(junk):
+    with pytest.raises(IngestError):
+        import_trace(junk + "\n")
+
+
+def test_load_imported_names_the_offending_file(tmp_path):
+    from repro.workloads import load_imported
+
+    bad = tmp_path / "broken.bril"
+    bad.write_text("@main {\n.a:\n  x: int = frobnicate 1;\n  ret;\n}\n")
+    with pytest.raises(SourceError, match="broken.bril"):
+        load_imported([bad])
+
+
+def test_unknown_suffix_is_a_lower_error(tmp_path):
+    f = tmp_path / "prog.xyz"
+    f.write_text("whatever")
+    with pytest.raises(LowerError, match="unknown import suffix"):
+        import_path(f)

@@ -43,9 +43,10 @@ def test_proposed_cell_failure_is_contained(monkeypatch):
     assert "RuntimeError" in run["Proposed"].failure
     assert run["Proposed"].failure_detail  # traceback tail kept
     assert math.isnan(run.improvement)
-    # safe-speculative shares the proposed compiler, so it fails too.
+    # safe-speculative and melded share the proposed compiler, so they
+    # fail too.
     assert [c.scheme for c in suite_failures(runs)] \
-        == ["Proposed", "safe-speculative"]
+        == ["Proposed", "safe-speculative", "melded"]
 
 
 def test_tables_render_fail_cells(monkeypatch):

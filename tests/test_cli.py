@@ -80,7 +80,7 @@ def test_tables_cache_warm_run(tmp_path, capsys):
     assert "cache: hits=0" in cold.err
     assert main(["tables", "--scale", "0.01", "--cache-dir", cache]) == 0
     warm = capsys.readouterr()
-    assert "cache: hits=16 misses=0" in warm.err  # 4 benchmarks x 4 schemes
+    assert "cache: hits=20 misses=0" in warm.err  # 4 benchmarks x 5 schemes
     assert warm.out == cold.out
 
 
@@ -89,9 +89,9 @@ def test_cache_stats_and_clear(tmp_path, capsys):
     assert main(["tables", "--scale", "0.01", "--cache-dir", cache]) == 0
     capsys.readouterr()
     assert main(["cache", "stats", "--cache-dir", cache]) == 0
-    assert "entries    : 16" in capsys.readouterr().out
+    assert "entries    : 20" in capsys.readouterr().out
     assert main(["cache", "clear", "--cache-dir", cache]) == 0
-    assert "cleared 16 entries" in capsys.readouterr().out
+    assert "cleared 20 entries" in capsys.readouterr().out
     assert main(["cache", "stats", "--cache-dir", cache]) == 0
     assert "entries    : 0" in capsys.readouterr().out
 
@@ -105,7 +105,7 @@ def test_sweep(tmp_path, capsys):
                  "--benchmarks", "compress",
                  "--out", str(out)]) == 0
     records = json.loads(out.read_text())
-    assert len(records) == 8  # 2 widths x 1 benchmark x 4 schemes
+    assert len(records) == 10  # 2 widths x 1 benchmark x 5 schemes
     assert {r["config"]["fetch_width"] for r in records} == {2, 4}
     assert all(r["ok"] for r in records)
     assert all(r["ipc"] > 0 for r in records)

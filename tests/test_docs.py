@@ -1,5 +1,6 @@
 """Documentation consistency checks."""
 
+import re
 import sys
 from pathlib import Path
 
@@ -18,9 +19,31 @@ def test_isa_doc_is_current():
 
 
 def test_required_documents_exist():
-    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ISA.md"):
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ISA.md",
+                 "docs/INGEST.md"):
         path = ROOT / name
         assert path.exists() and path.stat().st_size > 500, name
+
+
+def test_readme_doc_links_resolve():
+    """Every docs/*.md referenced from README.md exists (no dead links —
+    the ISSUE 10 regression: new docs must be committed with their
+    cross-links)."""
+    text = (ROOT / "README.md").read_text()
+    referenced = set(re.findall(r"docs/[A-Za-z0-9_.-]+\.md", text))
+    assert referenced, "README.md references no docs/*.md at all?"
+    for ref in sorted(referenced):
+        assert (ROOT / ref).exists(), f"README.md links missing file {ref}"
+
+
+def test_ingest_doc_covers_the_contract():
+    """docs/INGEST.md documents both formats, the lowering rules, and the
+    golden-refresh workflow."""
+    text = (ROOT / "docs" / "INGEST.md").read_text()
+    for needle in ("@main", ".bril", "trace.jsonl", '"kind"', "br ",
+                   "register", "r27", "--check", "--update-goldens",
+                   "--import", "melded", "content hash"):
+        assert needle in text, f"docs/INGEST.md missing {needle!r}"
 
 
 def test_experiments_covers_all_artifacts():

@@ -43,6 +43,13 @@ byte-identical), plus a cold end-to-end suite run per backend.  Written
 to ``BENCH_fastsim.json``; the headline gate is a >= 10x functional
 speedup.
 
+A ninth phase measures the **ingest front end and the melded scheme**
+(``repro.ingest``): wall-clock of parsing + lowering + verifying the
+committed fixture corpus (min-of-9 with the A/A noise gate), then, for
+every imported source workload, the ``melded`` scheme's IPC vs the
+guarded ``Proposed`` baseline with the meld count — at least one
+imported workload must actually meld.  Written to ``BENCH_ingest.json``.
+
 An eighth phase measures the **closed-loop autotuner** (``repro.tune``):
 one deterministic micro-search over the paper's Figure 6 thresholds,
 gating that (a) the learned per-workload vector strictly beats the
@@ -665,6 +672,100 @@ def bench_tune(scale: float, max_steps: int, repeats: int = 9,
     return record
 
 
+def bench_ingest(max_steps: int, repeats: int = 9,
+                 fixtures: str = "tests/ingest/fixtures",
+                 out: str = "BENCH_ingest.json") -> dict:
+    """Measure the import front end and the melded scheme (ISSUE 10).
+
+    Two questions over the committed fixture corpus:
+
+    * **front-end cost** — wall-clock of parse + lower + verify for the
+      whole corpus (sources and traces), min-of-``repeats`` measured
+      twice so the A/A delta bounds timer noise (the same estimator as
+      :func:`bench_obs_overhead`);
+    * **melded vs guarded** — for every imported *source* workload, one
+      deterministic compile per scheme (plain ``Proposed`` = guarded
+      baseline, ``enable_meld`` = melded) and the cycle-exact IPC from
+      the timing simulator, plus static code growth and the number of
+      diamonds actually melded.  Simulation is deterministic, so no
+      repeat sampling applies there.  The gate demands that at least one
+      imported workload melds at least one diamond — otherwise the
+      scheme column would be measuring nothing.
+    """
+    from dataclasses import replace
+
+    from repro.core import compile_proposed
+    from repro.core.heuristics import DEFAULT_HEURISTICS
+    from repro.ingest import expand_fixtures, import_path
+    from repro.sim import r10k_config, simulate
+
+    root = Path(fixtures)
+    files = expand_fixtures([root])
+    if not files:
+        raise SystemExit(f"no ingest fixtures under {root}")
+    config = r10k_config("twobit")
+    meld_heur = replace(DEFAULT_HEURISTICS, enable_meld=True)
+
+    def _best_ingest() -> float:
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for path in files:
+                import_path(path)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    ingest_s = _best_ingest()
+    ingest_again_s = _best_ingest()
+
+    workloads: dict[str, dict] = {}
+    for path in files:
+        if path.suffix != ".bril":
+            continue  # traces measure the front end; schemes want sources
+        prog = import_path(path)
+        guarded = compile_proposed(prog, max_steps=max_steps)
+        melded = compile_proposed(prog, heur=meld_heur, max_steps=max_steps)
+        g_ipc = simulate(guarded.program, config).ipc
+        m_ipc = simulate(melded.program, config).ipc
+        workloads[path.stem] = {
+            "program": prog.name,
+            "melds_applied": melded.melds_applied,
+            "ipc_guarded": round(g_ipc, 4),
+            "ipc_melded": round(m_ipc, 4),
+            "ipc_delta_pct": round(100.0 * (m_ipc - g_ipc) / g_ipc, 2)
+            if g_ipc else 0.0,
+            "code_growth_pct": round(
+                100.0 * (len(melded.program) - len(guarded.program))
+                / len(guarded.program), 2) if len(guarded.program) else 0.0,
+        }
+
+    def _pct(new: float, base: float) -> float:
+        return round(100.0 * (new - base) / base, 2) if base else 0.0
+
+    record = {
+        "bench": "ingest",
+        "fixtures": len(files),
+        "repeats": repeats,
+        "ingest_seconds": round(ingest_s, 4),
+        "ingest_seconds_again": round(ingest_again_s, 4),
+        # A/A delta: the same front-end pass measured against itself.
+        "noise_pct": _pct(ingest_again_s, ingest_s),
+        "gate_noise_lt_5pct": abs(_pct(ingest_again_s, ingest_s)) < 5.0,
+        "melds_total": sum(w["melds_applied"] for w in workloads.values()),
+        "gate_some_workload_melds": any(w["melds_applied"] > 0
+                                        for w in workloads.values()),
+        "workloads": workloads,
+    }
+    Path(out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    deltas = ", ".join(
+        f"{n}={w['ipc_delta_pct']}%({w['melds_applied']})"
+        for n, w in workloads.items() if w["melds_applied"])
+    print(f"ingest: {len(files)} fixtures in {record['ingest_seconds']}s "
+          f"A/A noise={record['noise_pct']}% melded-vs-guarded IPC "
+          f"[{deltas or 'no melds'}] -> {out}", file=sys.stderr)
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     """Time the three phases and write the JSON record."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -702,6 +803,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="skip the autotuning phase")
     ap.add_argument("--tune-budget", type=int, default=24,
                     help="candidate-evaluation budget for the tune phase")
+    ap.add_argument("--ingest-out", default="BENCH_ingest.json",
+                    help="ingest/meld output path "
+                         "(default BENCH_ingest.json)")
+    ap.add_argument("--skip-ingest", action="store_true",
+                    help="skip the ingest/meld phase")
     args = ap.parse_args(argv)
 
     phases: dict[str, dict] = {}
@@ -809,6 +915,16 @@ def main(argv: list[str] | None = None) -> int:
         if not tn["gate_noise_lt_5pct"]:
             print("WARNING: tune resume A/A noise exceeded 5%",
                   file=sys.stderr)
+            rc = 1
+    if not args.skip_ingest:
+        print("ingest (fixture corpus) ...", file=sys.stderr)
+        ing = bench_ingest(args.max_steps, out=args.ingest_out)
+        if not ing["gate_some_workload_melds"]:
+            print("WARNING: no imported workload melded any diamond",
+                  file=sys.stderr)
+            rc = 1
+        if not ing["gate_noise_lt_5pct"]:
+            print("WARNING: ingest A/A noise exceeded 5%", file=sys.stderr)
             rc = 1
     if not record["cold_gt_warm"]:
         print("WARNING: warm run was not faster than cold", file=sys.stderr)
